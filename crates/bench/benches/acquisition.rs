@@ -1,0 +1,48 @@
+//! Benchmarks of the acquisition criteria: MacKay's ALM (`O(|C|)`) versus
+//! Cohn's ALC (`O(|C|·|R|)`-ish), the trade-off the paper discusses in §3.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use alic_bench::fitted_dynatree;
+use alic_model::ActiveSurrogate;
+
+fn candidate_grid(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| vec![(i % 23) as f64 / 22.0, (i % 7) as f64 / 6.0])
+        .collect()
+}
+
+fn bench_alm_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alm_scores");
+    let model = fitted_dynatree(300, 200);
+    for &n_candidates in &[100usize, 500] {
+        let candidates = candidate_grid(n_candidates);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_candidates),
+            &candidates,
+            |b, candidates| b.iter(|| model.alm_scores(black_box(candidates)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_alc_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alc_scores");
+    let model = fitted_dynatree(300, 200);
+    let reference = candidate_grid(50);
+    for &n_candidates in &[100usize, 500] {
+        let candidates = candidate_grid(n_candidates);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_candidates),
+            &candidates,
+            |b, candidates| {
+                b.iter(|| model.alc_scores(black_box(candidates), black_box(&reference)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alm_scoring, bench_alc_scoring);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! One benchmark per table and figure of the paper, measuring the cost of
+//! regenerating each artefact at a reduced ("quick") scale:
+//!
+//! * `fig1_mm_plane`      — Figure 1 sample-size study,
+//! * `fig2_adi_sweep`     — Figure 2 unroll sweep,
+//! * `table1_comparison`  — one Table 1 row (plan comparison on one kernel),
+//! * `table2_kernel_row`  — one Table 2 row (variance / CI spreads),
+//! * `fig5_reduction`     — Figure 5 bar values derived from a comparison,
+//! * `fig6_curves`        — Figure 6 learning-curve extraction,
+//! * `ablation_acquisition` — the acquisition-function ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use alic_core::experiment::compare_plans;
+use alic_experiments::{ablation, fig1, fig2, fig5, fig6, table1, table2, Scale};
+use alic_sim::spapt::{spapt_kernel, SpaptKernel};
+
+fn small_comparison_config() -> alic_core::experiment::ComparisonConfig {
+    let mut config = Scale::Quick.comparison_config();
+    config.repetitions = 1;
+    config.learner.max_iterations = 30;
+    config
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_mm_plane");
+    group.sample_size(10);
+    group.bench_function("grid8_obs10", |b| {
+        b.iter(|| fig1::run_with(black_box(8), black_box(10), fig1::MAE_THRESHOLD_SECONDS, 1))
+    });
+    group.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_adi_sweep", |b| b.iter(|| fig2::run(black_box(1))));
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_comparison");
+    group.sample_size(10);
+    let config = small_comparison_config();
+    group.bench_function("mvt_quick", |b| {
+        b.iter(|| compare_plans(&spapt_kernel(SpaptKernel::Mvt), black_box(&config)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_kernel_row");
+    group.sample_size(10);
+    group.bench_function("mm_40cfg_10obs", |b| {
+        b.iter(|| table2::run_kernel(SpaptKernel::Mm, black_box(40), black_box(10), 1))
+    });
+    group.finish();
+}
+
+fn bench_fig5_and_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_fig6_derivation");
+    group.sample_size(10);
+    let config = small_comparison_config();
+    let outcome = compare_plans(&spapt_kernel(SpaptKernel::Hessian), &config).unwrap();
+    let outcomes = vec![outcome];
+    let table = table1::rows_from_outcomes(&outcomes, &config);
+    group.bench_function("fig5_reduction", |b| {
+        b.iter(|| fig5::Fig5Result::from_table1(black_box(&table)))
+    });
+    group.bench_function("fig6_curves", |b| {
+        b.iter(|| fig6::curves_from_outcomes(black_box(&outcomes)))
+    });
+    group.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_acquisition");
+    group.sample_size(10);
+    group.bench_function("mvt_quick", |b| {
+        b.iter(|| ablation::acquisition_ablation(black_box(SpaptKernel::Mvt), Scale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_table1,
+    bench_table2,
+    bench_fig5_and_fig6,
+    bench_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Micro-benchmarks of the surrogate models: incremental updates, prediction
+//! and full fits for the dynamic tree, the Gaussian process and the static
+//! CART tree. These quantify the `O(n³)` GP refit versus the incremental
+//! dynamic-tree update that motivates the paper's model choice (§3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use alic_bench::{fitted_dynatree, synthetic_training_data};
+use alic_model::cart::RegressionTree;
+use alic_model::dynatree::{DynaTree, DynaTreeConfig};
+use alic_model::gp::GaussianProcess;
+use alic_model::SurrogateModel;
+
+fn bench_dynatree_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynatree_update");
+    for &n in &[50usize, 200, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let model = fitted_dynatree(n, 100);
+            b.iter_batched(
+                || model.clone(),
+                |mut m| m.update(black_box(&[0.31, 0.42]), black_box(0.9)).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynatree_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynatree_predict");
+    for &particles in &[50usize, 200, 1000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(particles),
+            &particles,
+            |b, &particles| {
+                let model = fitted_dynatree(300, particles);
+                b.iter(|| model.predict(black_box(&[0.5, 0.5])).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gp_refit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_refit");
+    group.sample_size(10);
+    for &n in &[50usize, 150, 300] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (xs, ys) = synthetic_training_data(n);
+            b.iter(|| {
+                let mut gp = GaussianProcess::with_defaults();
+                gp.fit(black_box(&xs), black_box(&ys)).unwrap();
+                gp.predict(black_box(&[0.5, 0.5])).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cart_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cart_fit");
+    for &n in &[100usize, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (xs, ys) = synthetic_training_data(n);
+            b.iter(|| {
+                let mut tree = RegressionTree::with_defaults();
+                tree.fit(black_box(&xs), black_box(&ys)).unwrap();
+                tree.predict(black_box(&[0.5, 0.5])).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynatree_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynatree_fit");
+    group.sample_size(10);
+    for &n in &[50usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (xs, ys) = synthetic_training_data(n);
+            b.iter(|| {
+                let mut model = DynaTree::new(DynaTreeConfig {
+                    particles: 100,
+                    seed: 1,
+                    ..Default::default()
+                });
+                model.fit(black_box(&xs), black_box(&ys)).unwrap();
+                model
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dynatree_update,
+    bench_dynatree_predict,
+    bench_dynatree_fit,
+    bench_gp_refit,
+    bench_cart_fit
+);
+criterion_main!(benches);

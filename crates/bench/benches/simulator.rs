@@ -1,0 +1,61 @@
+//! Benchmarks of the iterative-compilation simulator: single measurements,
+//! ground-truth surface evaluation and dataset generation (the §4.5
+//! profiling protocol).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use alic_bench::{bench_kernel, bench_profiler};
+use alic_data::dataset::{Dataset, DatasetConfig};
+use alic_sim::profiler::{Profiler, SimulatedProfiler};
+use alic_sim::spapt::{spapt_kernel, SpaptKernel};
+use alic_sim::surface::ResponseSurface;
+
+fn bench_measure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiler_measure");
+    for kernel in [SpaptKernel::Mvt, SpaptKernel::Gemver, SpaptKernel::Dgemv3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &kernel,
+            |b, &kernel| {
+                let mut profiler = SimulatedProfiler::new(spapt_kernel(kernel), 1);
+                let config = profiler.space().default_configuration();
+                b.iter(|| profiler.measure(black_box(&config)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_surface(c: &mut Criterion) {
+    let spec = bench_kernel();
+    let surface = ResponseSurface::new(spec.space(), spec.base_runtime(), 7, &[]);
+    let config = spec.space().default_configuration();
+    c.bench_function("surface_true_mean", |b| {
+        b.iter(|| surface.true_mean(black_box(&config)))
+    });
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generate");
+    group.sample_size(10);
+    for &configs in &[100usize, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(configs), &configs, |b, &configs| {
+            b.iter(|| {
+                let mut profiler = bench_profiler(3);
+                Dataset::generate(
+                    &mut profiler,
+                    &DatasetConfig {
+                        configurations: configs,
+                        observations: 5,
+                        seed: 1,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measure, bench_surface, bench_dataset_generation);
+criterion_main!(benches);

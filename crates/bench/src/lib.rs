@@ -1,0 +1,92 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! The benches in `benches/` measure the computational cost of the library
+//! itself (model updates, acquisition scoring, simulator throughput) and of
+//! regenerating each of the paper's tables and figures at a reduced scale.
+
+use alic_data::dataset::{Dataset, DatasetConfig};
+use alic_data::split::TrainTestSplit;
+use alic_model::dynatree::{DynaTree, DynaTreeConfig};
+use alic_model::SurrogateModel;
+use alic_sim::noise::NoiseProfile;
+use alic_sim::profiler::SimulatedProfiler;
+use alic_sim::space::ParamSpec;
+use alic_sim::KernelSpec;
+
+/// A small synthetic kernel used by the micro-benchmarks (three unroll
+/// parameters, moderate noise).
+pub fn bench_kernel() -> KernelSpec {
+    KernelSpec::new(
+        "bench",
+        vec![
+            ParamSpec::unroll("u1"),
+            ParamSpec::unroll("u2"),
+            ParamSpec::unroll("u3"),
+        ],
+        1.0,
+        0.5,
+        NoiseProfile::moderate(),
+    )
+    .expect("non-empty parameter list")
+    .with_surface_seed(77)
+}
+
+/// A profiler over [`bench_kernel`].
+pub fn bench_profiler(seed: u64) -> SimulatedProfiler {
+    SimulatedProfiler::new(bench_kernel(), seed)
+}
+
+/// A small profiled dataset plus train/test split over [`bench_kernel`].
+pub fn bench_dataset(configurations: usize) -> (Dataset, TrainTestSplit) {
+    let mut profiler = bench_profiler(1);
+    let dataset = Dataset::generate(
+        &mut profiler,
+        &DatasetConfig {
+            configurations,
+            observations: 5,
+            seed: 2,
+        },
+    );
+    let train = (configurations * 3) / 4;
+    let split = dataset.split(train, 3);
+    (dataset, split)
+}
+
+/// Synthetic regression data `y = sin(4x0) + 0.5 x1` on the unit square.
+pub fn synthetic_training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = (i % 37) as f64 / 36.0;
+        let b = (i % 11) as f64 / 10.0;
+        xs.push(vec![a, b]);
+        ys.push((4.0 * a).sin() + 0.5 * b);
+    }
+    (xs, ys)
+}
+
+/// A dynamic tree fitted on `n` synthetic points with `particles` particles.
+pub fn fitted_dynatree(n: usize, particles: usize) -> DynaTree {
+    let (xs, ys) = synthetic_training_data(n);
+    let mut model = DynaTree::new(DynaTreeConfig {
+        particles,
+        seed: 9,
+        ..Default::default()
+    });
+    model.fit(&xs, &ys).expect("synthetic data is well formed");
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_well_formed() {
+        let (dataset, split) = bench_dataset(80);
+        assert_eq!(dataset.len(), 80);
+        assert_eq!(split.population(), 80);
+        let model = fitted_dynatree(50, 20);
+        assert_eq!(model.observation_count(), 50);
+    }
+}

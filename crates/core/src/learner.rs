@@ -1,0 +1,581 @@
+//! The active-learning loop (Algorithm 1).
+//!
+//! [`ActiveLearner::run`] reproduces Algorithm 1 of the paper, generalized
+//! over the sampling plan so that the same loop implements the paper's
+//! variable-observation technique *and* the two fixed-plan baselines it is
+//! compared against:
+//!
+//! 1. Seed the model with `initial_examples` randomly chosen configurations,
+//!    each profiled `initial_observations` times (line 2–4).
+//! 2. At each iteration build a candidate set of `candidates_per_iteration`
+//!    unseen configurations, plus — for the sequential plan — every visited
+//!    configuration that has fewer than `max_observations` observations
+//!    (lines 7–11).
+//! 3. Score the candidates with the acquisition strategy and pick the best
+//!    (lines 12–20).
+//! 4. Profile the winner (one observation for the sequential plan, the plan's
+//!    fixed count otherwise), update the model and the bookkeeping
+//!    (lines 21–28).
+//! 5. Periodically evaluate the model's RMSE on the held-out test set and
+//!    record a learning-curve point.
+
+use std::collections::BTreeMap;
+
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+use alic_data::dataset::Dataset;
+use alic_data::split::TrainTestSplit;
+use alic_model::ActiveSurrogate;
+use alic_sim::profiler::Profiler;
+use alic_stats::error::rmse;
+use alic_stats::rng::{seeded_stream, Rng as StatsRng};
+use alic_stats::summary::OnlineStats;
+
+use crate::acquisition::Acquisition;
+use crate::criteria::CompletionCriteria;
+use crate::curve::{CurvePoint, LearningCurve};
+use crate::ledger::CostLedger;
+use crate::plan::SamplingPlan;
+use crate::{CoreError, Result};
+
+/// Configuration of one learning run (the parameters of Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearnerConfig {
+    /// `n_init`: number of randomly chosen seed examples (the paper uses 5).
+    pub initial_examples: usize,
+    /// `n_obs` for the seed examples (the paper uses 35).
+    pub initial_observations: usize,
+    /// `n_c`: number of fresh candidates considered per iteration (500).
+    pub candidates_per_iteration: usize,
+    /// Iteration budget (`n_max`, the paper uses 2,500).
+    pub max_iterations: usize,
+    /// Evaluate the model on the test set every this many iterations.
+    pub evaluate_every: usize,
+    /// Acquisition strategy (§3.3).
+    pub acquisition: Acquisition,
+    /// Sampling plan (fixed or sequential).
+    pub plan: SamplingPlan,
+    /// Additional stopping conditions.
+    pub criteria: CompletionCriteria,
+    /// Seed for candidate sampling and tie breaking.
+    pub seed: u64,
+}
+
+impl Default for LearnerConfig {
+    fn default() -> Self {
+        LearnerConfig {
+            initial_examples: 5,
+            initial_observations: 35,
+            candidates_per_iteration: 500,
+            max_iterations: 2_500,
+            evaluate_every: 25,
+            acquisition: Acquisition::default_alc(),
+            plan: SamplingPlan::default(),
+            criteria: CompletionCriteria::none(),
+            seed: 0,
+        }
+    }
+}
+
+/// Per-example profiling record kept by the learner (the paper's map `D`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExampleRecord {
+    /// Index of the example in the dataset.
+    pub dataset_index: usize,
+    /// Running statistics of the runtimes observed for this example.
+    pub runtimes: OnlineStats,
+}
+
+/// Outcome of one learning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearnerRun {
+    /// The plan that produced this run.
+    pub plan: SamplingPlan,
+    /// RMSE-versus-cost learning curve.
+    pub curve: LearningCurve,
+    /// Cumulative profiling cost.
+    pub ledger: CostLedger,
+    /// Profiling record per visited example.
+    pub visited: Vec<ExampleRecord>,
+    /// Total learning-loop iterations executed.
+    pub iterations: usize,
+}
+
+impl LearnerRun {
+    /// Number of distinct training examples visited.
+    pub fn distinct_examples(&self) -> usize {
+        self.visited.len()
+    }
+
+    /// Total observations taken across all examples.
+    pub fn total_observations(&self) -> usize {
+        self.visited.iter().map(|r| r.runtimes.count()).sum()
+    }
+
+    /// Mean number of observations per visited example — the statistic the
+    /// sequential plan is designed to minimize.
+    pub fn mean_observations_per_example(&self) -> f64 {
+        if self.visited.is_empty() {
+            0.0
+        } else {
+            self.total_observations() as f64 / self.visited.len() as f64
+        }
+    }
+}
+
+/// The active learner: couples a profiler with the loop of Algorithm 1.
+#[derive(Debug)]
+pub struct ActiveLearner<'a, P: Profiler> {
+    config: LearnerConfig,
+    profiler: &'a mut P,
+}
+
+impl<'a, P: Profiler> ActiveLearner<'a, P> {
+    /// Creates a learner that will profile through `profiler`.
+    pub fn new(config: LearnerConfig, profiler: &'a mut P) -> Self {
+        ActiveLearner { config, profiler }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LearnerConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1 with the given surrogate `model` over the training
+    /// pool defined by `dataset` and `split`, evaluating on the split's test
+    /// points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is inconsistent with the pool
+    /// size or when the surrogate model fails.
+    pub fn run<M: ActiveSurrogate>(
+        &mut self,
+        model: &mut M,
+        dataset: &Dataset,
+        split: &TrainTestSplit,
+    ) -> Result<LearnerRun> {
+        let config = self.config;
+        if config.initial_examples == 0 {
+            return Err(CoreError::InvalidConfig(
+                "at least one seed example is required".to_string(),
+            ));
+        }
+        if config.evaluate_every == 0 {
+            return Err(CoreError::InvalidConfig(
+                "evaluate_every must be positive".to_string(),
+            ));
+        }
+        let pool: Vec<usize> = split.train_indices().to_vec();
+        if pool.len() < config.initial_examples {
+            return Err(CoreError::InsufficientData {
+                needed: config.initial_examples,
+                available: pool.len(),
+            });
+        }
+        if split.test_indices().is_empty() {
+            return Err(CoreError::InsufficientData {
+                needed: 1,
+                available: 0,
+            });
+        }
+
+        let mut rng: StatsRng = seeded_stream(config.seed, 0xAC71);
+
+        // Pre-compute normalized features for the pool and the test set.
+        let pool_features: Vec<Vec<f64>> = pool.iter().map(|&i| dataset.features(i)).collect();
+        let test_features: Vec<Vec<f64>> = split
+            .test_indices()
+            .iter()
+            .map(|&i| dataset.features(i))
+            .collect();
+        let test_targets: Vec<f64> = split
+            .test_indices()
+            .iter()
+            .map(|&i| dataset.points()[i].mean_runtime)
+            .collect();
+
+        let mut ledger = CostLedger::new();
+        let mut curve = LearningCurve::new();
+        // Position (within `pool`) -> record index in `visited`.
+        let mut visited_positions: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut visited: Vec<ExampleRecord> = Vec::new();
+
+        // --- Seeding (Algorithm 1, lines 2-4). -------------------------------
+        let mut positions: Vec<usize> = (0..pool.len()).collect();
+        positions.shuffle(&mut rng);
+        let seed_positions: Vec<usize> = positions[..config.initial_examples].to_vec();
+        let mut seed_xs = Vec::with_capacity(config.initial_examples);
+        let mut seed_ys = Vec::with_capacity(config.initial_examples);
+        for &pos in &seed_positions {
+            let dataset_index = pool[pos];
+            let configuration = &dataset.points()[dataset_index].configuration;
+            let mut stats = OnlineStats::new();
+            for _ in 0..config.initial_observations.max(1) {
+                let m = self.profiler.measure(configuration);
+                ledger.record(&m);
+                stats.push(m.runtime);
+            }
+            seed_xs.push(pool_features[pos].clone());
+            seed_ys.push(stats.mean());
+            visited_positions.insert(pos, visited.len());
+            visited.push(ExampleRecord {
+                dataset_index,
+                runtimes: stats,
+            });
+        }
+        model.fit(&seed_xs, &seed_ys)?;
+
+        let mut latest_rmse =
+            evaluate_rmse(model, &test_features, &test_targets).map_err(CoreError::from)?;
+        curve.push(CurvePoint {
+            iterations: 0,
+            training_examples: visited.len(),
+            observations: ledger.runs(),
+            cost_seconds: ledger.total_seconds(),
+            rmse: latest_rmse,
+        });
+
+        // --- Main loop (Algorithm 1, lines 6-29). -----------------------------
+        let mut unseen: Vec<usize> = positions[config.initial_examples..].to_vec();
+        let mut iterations = 0usize;
+        while iterations < config.max_iterations {
+            if config
+                .criteria
+                .is_met(ledger.total_seconds(), Some(latest_rmse))
+            {
+                break;
+            }
+            // Candidate set: n_c fresh positions...
+            unseen.shuffle(&mut rng);
+            let fresh = unseen
+                .iter()
+                .copied()
+                .take(config.candidates_per_iteration)
+                .collect::<Vec<_>>();
+            // ...plus, for the sequential plan, visited positions that have
+            // not yet hit the observation cap (lines 8-11).
+            let mut candidates: Vec<usize> = fresh;
+            if config.plan.allows_revisits() {
+                for (&pos, &record) in &visited_positions {
+                    if visited[record].runtimes.count() < config.plan.max_observations() {
+                        candidates.push(pos);
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            let candidate_features: Vec<Vec<f64>> = candidates
+                .iter()
+                .map(|&pos| pool_features[pos].clone())
+                .collect();
+            let chosen = config
+                .acquisition
+                .select(model, &candidate_features, &pool_features, &mut rng)?
+                .expect("candidate set is non-empty");
+            let position = candidates[chosen];
+            let dataset_index = pool[position];
+            let configuration = &dataset.points()[dataset_index].configuration;
+            let features = &pool_features[position];
+
+            // Profile the winner according to the sampling plan.
+            let observations = config.plan.observations_per_visit();
+            let mut batch = OnlineStats::new();
+            for _ in 0..observations {
+                let m = self.profiler.measure(configuration);
+                ledger.record(&m);
+                batch.push(m.runtime);
+            }
+            // Fixed plans feed the mean of the batch; the sequential plan
+            // feeds the single raw observation.
+            let y = batch.mean();
+            model.update(features, y)?;
+
+            // Bookkeeping (lines 23-28).
+            let first_visit = !visited_positions.contains_key(&position);
+            if first_visit {
+                visited_positions.insert(position, visited.len());
+                visited.push(ExampleRecord {
+                    dataset_index,
+                    runtimes: batch,
+                });
+                // Remove from the unseen pool.
+                if let Some(idx) = unseen.iter().position(|&p| p == position) {
+                    unseen.swap_remove(idx);
+                }
+            } else {
+                let record = visited_positions[&position];
+                visited[record].runtimes.merge(&batch);
+            }
+
+            iterations += 1;
+            if iterations % config.evaluate_every == 0 || iterations == config.max_iterations {
+                latest_rmse =
+                    evaluate_rmse(model, &test_features, &test_targets).map_err(CoreError::from)?;
+                curve.push(CurvePoint {
+                    iterations,
+                    training_examples: visited.len(),
+                    observations: ledger.runs(),
+                    cost_seconds: ledger.total_seconds(),
+                    rmse: latest_rmse,
+                });
+            }
+        }
+
+        Ok(LearnerRun {
+            plan: config.plan,
+            curve,
+            ledger,
+            visited,
+            iterations,
+        })
+    }
+}
+
+/// RMSE of `model` over a test set of normalized features and target mean
+/// runtimes (Equation 1).
+pub fn evaluate_rmse<M: ActiveSurrogate + ?Sized>(
+    model: &M,
+    test_features: &[Vec<f64>],
+    test_targets: &[f64],
+) -> std::result::Result<f64, CoreError> {
+    let predictions: Vec<f64> = test_features
+        .iter()
+        .map(|x| model.predict(x).map(|p| p.mean))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(CoreError::from)?;
+    rmse(&predictions, test_targets).map_err(CoreError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alic_data::dataset::{Dataset, DatasetConfig};
+    use alic_model::dynatree::{DynaTree, DynaTreeConfig};
+    use alic_sim::noise::NoiseProfile;
+    use alic_sim::profiler::SimulatedProfiler;
+    use alic_sim::space::ParamSpec;
+    use alic_sim::KernelSpec;
+
+    fn toy_profiler(noise: NoiseProfile, seed: u64) -> SimulatedProfiler {
+        let spec = KernelSpec::new(
+            "toy",
+            vec![ParamSpec::unroll("u1"), ParamSpec::unroll("u2")],
+            1.0,
+            0.5,
+            noise,
+        )
+        .unwrap()
+        .with_surface_seed(7);
+        SimulatedProfiler::new(spec, seed)
+    }
+
+    fn toy_setup(noise: NoiseProfile) -> (SimulatedProfiler, Dataset, TrainTestSplit) {
+        let mut profiler = toy_profiler(noise, 1);
+        let dataset = Dataset::generate(
+            &mut profiler,
+            &DatasetConfig {
+                configurations: 200,
+                observations: 5,
+                seed: 2,
+            },
+        );
+        let split = dataset.split(150, 3);
+        (toy_profiler(noise, 11), dataset, split)
+    }
+
+    fn small_config(plan: SamplingPlan) -> LearnerConfig {
+        LearnerConfig {
+            initial_examples: 5,
+            initial_observations: 5,
+            candidates_per_iteration: 30,
+            max_iterations: 60,
+            evaluate_every: 15,
+            acquisition: Acquisition::Alc { reference_size: 20 },
+            plan,
+            criteria: CompletionCriteria::none(),
+            seed: 5,
+        }
+    }
+
+    fn small_model(seed: u64) -> DynaTree {
+        DynaTree::new(DynaTreeConfig {
+            particles: 40,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn sequential_run_produces_a_monotone_cost_curve() {
+        let (mut profiler, dataset, split) = toy_setup(NoiseProfile::moderate());
+        let config = small_config(SamplingPlan::sequential(5));
+        let mut learner = ActiveLearner::new(config, &mut profiler);
+        let mut model = small_model(1);
+        let run = learner.run(&mut model, &dataset, &split).unwrap();
+
+        assert_eq!(run.iterations, 60);
+        assert!(run.curve.len() >= 4);
+        let costs: Vec<f64> = run.curve.points().iter().map(|p| p.cost_seconds).collect();
+        assert!(costs.windows(2).all(|w| w[1] >= w[0]));
+        assert!(run.curve.final_rmse().unwrap().is_finite());
+        assert!(run.ledger.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn sequential_plan_never_exceeds_the_observation_cap() {
+        let (mut profiler, dataset, split) = toy_setup(NoiseProfile::moderate());
+        let cap = 5;
+        let config = small_config(SamplingPlan::sequential(cap));
+        let mut learner = ActiveLearner::new(config, &mut profiler);
+        let mut model = small_model(2);
+        let run = learner.run(&mut model, &dataset, &split).unwrap();
+        for record in &run.visited {
+            assert!(
+                record.runtimes.count() <= cap.max(config.initial_observations),
+                "example exceeded the cap: {} observations",
+                record.runtimes.count()
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_plan_profiles_each_example_exactly_n_times() {
+        let (mut profiler, dataset, split) = toy_setup(NoiseProfile::quiet());
+        let config = LearnerConfig {
+            plan: SamplingPlan::fixed(3),
+            initial_observations: 3,
+            max_iterations: 20,
+            ..small_config(SamplingPlan::fixed(3))
+        };
+        let mut learner = ActiveLearner::new(config, &mut profiler);
+        let mut model = small_model(3);
+        let run = learner.run(&mut model, &dataset, &split).unwrap();
+        assert!(run.visited.iter().all(|r| r.runtimes.count() == 3));
+        // Seed examples + one new example per iteration.
+        assert_eq!(run.distinct_examples(), 5 + 20);
+        assert_eq!(run.total_observations(), (5 + 20) * 3);
+    }
+
+    #[test]
+    fn sequential_plan_spends_less_per_iteration_than_fixed35() {
+        let (mut profiler_a, dataset, split) = toy_setup(NoiseProfile::quiet());
+        let iterations = 40;
+        let fixed = LearnerConfig {
+            plan: SamplingPlan::fixed35(),
+            initial_observations: 35,
+            max_iterations: iterations,
+            ..small_config(SamplingPlan::fixed35())
+        };
+        let mut learner = ActiveLearner::new(fixed, &mut profiler_a);
+        let mut model = small_model(4);
+        let run_fixed = learner.run(&mut model, &dataset, &split).unwrap();
+
+        let mut profiler_b = toy_profiler(NoiseProfile::quiet(), 11);
+        let sequential = LearnerConfig {
+            plan: SamplingPlan::sequential(35),
+            initial_observations: 35,
+            max_iterations: iterations,
+            ..small_config(SamplingPlan::sequential(35))
+        };
+        let mut learner = ActiveLearner::new(sequential, &mut profiler_b);
+        let mut model = small_model(4);
+        let run_seq = learner.run(&mut model, &dataset, &split).unwrap();
+
+        assert!(
+            run_seq.ledger.total_seconds() < run_fixed.ledger.total_seconds() / 3.0,
+            "sequential cost {} should be far below fixed cost {}",
+            run_seq.ledger.total_seconds(),
+            run_fixed.ledger.total_seconds()
+        );
+    }
+
+    #[test]
+    fn learner_reduces_error_relative_to_the_seed_model() {
+        let (mut profiler, dataset, split) = toy_setup(NoiseProfile::quiet());
+        let config = LearnerConfig {
+            max_iterations: 120,
+            candidates_per_iteration: 40,
+            ..small_config(SamplingPlan::sequential(10))
+        };
+        let mut learner = ActiveLearner::new(config, &mut profiler);
+        let mut model = small_model(5);
+        let run = learner.run(&mut model, &dataset, &split).unwrap();
+        let first = run.curve.points().first().unwrap().rmse;
+        let best = run.curve.best_rmse().unwrap();
+        assert!(
+            best < first,
+            "training should reduce error: first {first}, best {best}"
+        );
+    }
+
+    #[test]
+    fn cost_budget_stops_the_run_early() {
+        let (mut profiler, dataset, split) = toy_setup(NoiseProfile::quiet());
+        let config = LearnerConfig {
+            criteria: CompletionCriteria::none().with_max_cost(40.0),
+            max_iterations: 10_000,
+            ..small_config(SamplingPlan::sequential(5))
+        };
+        let mut learner = ActiveLearner::new(config, &mut profiler);
+        let mut model = small_model(6);
+        let run = learner.run(&mut model, &dataset, &split).unwrap();
+        assert!(run.iterations < 10_000);
+        // The run may overshoot by at most one iteration's worth of cost.
+        assert!(run.ledger.total_seconds() < 80.0);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let (mut profiler, dataset, split) = toy_setup(NoiseProfile::quiet());
+        let config = LearnerConfig {
+            initial_examples: 0,
+            ..small_config(SamplingPlan::sequential(5))
+        };
+        let mut learner = ActiveLearner::new(config, &mut profiler);
+        let mut model = small_model(7);
+        assert!(matches!(
+            learner.run(&mut model, &dataset, &split),
+            Err(CoreError::InvalidConfig(_))
+        ));
+
+        let config = LearnerConfig {
+            initial_examples: 10_000,
+            ..small_config(SamplingPlan::sequential(5))
+        };
+        let mut learner = ActiveLearner::new(config, &mut profiler);
+        assert!(matches!(
+            learner.run(&mut model, &dataset, &split),
+            Err(CoreError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_identical_seeds() {
+        let run_once = || {
+            let mut profiler = toy_profiler(NoiseProfile::moderate(), 21);
+            let dataset = {
+                let mut gen_profiler = toy_profiler(NoiseProfile::moderate(), 1);
+                Dataset::generate(
+                    &mut gen_profiler,
+                    &DatasetConfig {
+                        configurations: 150,
+                        observations: 5,
+                        seed: 2,
+                    },
+                )
+            };
+            let split = dataset.split(100, 3);
+            let config = small_config(SamplingPlan::sequential(5));
+            let mut learner = ActiveLearner::new(config, &mut profiler);
+            let mut model = small_model(9);
+            learner.run(&mut model, &dataset, &split).unwrap()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.curve, b.curve);
+        assert_eq!(a.ledger, b.ledger);
+    }
+}

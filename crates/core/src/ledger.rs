@@ -1,0 +1,114 @@
+//! Cost accounting.
+//!
+//! The paper measures training cost as "the cumulative compilation and
+//! runtimes of any executables used in training" (§4.3). The ledger records
+//! exactly that, separating compile from run time so experiments can report
+//! both.
+
+use serde::{Deserialize, Serialize};
+
+use alic_sim::profiler::Measurement;
+
+/// Cumulative profiling cost of a learning run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostLedger {
+    run_seconds: f64,
+    compile_seconds: f64,
+    runs: u64,
+    compilations: u64,
+}
+
+impl CostLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        CostLedger::default()
+    }
+
+    /// Records one measurement.
+    pub fn record(&mut self, measurement: &Measurement) {
+        self.run_seconds += measurement.runtime;
+        self.compile_seconds += measurement.compile_time;
+        self.runs += 1;
+        if measurement.compiled {
+            self.compilations += 1;
+        }
+    }
+
+    /// Total cost (compile + run), in seconds — the paper's x-axis.
+    pub fn total_seconds(&self) -> f64 {
+        self.run_seconds + self.compile_seconds
+    }
+
+    /// Cumulative runtime of all profiling runs, in seconds.
+    pub fn run_seconds(&self) -> f64 {
+        self.run_seconds
+    }
+
+    /// Cumulative compilation time, in seconds.
+    pub fn compile_seconds(&self) -> f64 {
+        self.compile_seconds
+    }
+
+    /// Number of profiling runs.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Number of compilations.
+    pub fn compilations(&self) -> u64 {
+        self.compilations
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &CostLedger) {
+        self.run_seconds += other.run_seconds;
+        self.compile_seconds += other.compile_seconds;
+        self.runs += other.runs;
+        self.compilations += other.compilations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(runtime: f64, compile_time: f64, compiled: bool) -> Measurement {
+        Measurement {
+            runtime,
+            compile_time,
+            compiled,
+        }
+    }
+
+    #[test]
+    fn records_runs_and_compilations() {
+        let mut ledger = CostLedger::new();
+        ledger.record(&measurement(1.5, 0.5, true));
+        ledger.record(&measurement(1.4, 0.0, false));
+        assert_eq!(ledger.runs(), 2);
+        assert_eq!(ledger.compilations(), 1);
+        assert!((ledger.total_seconds() - 3.4).abs() < 1e-12);
+        assert!((ledger.run_seconds() - 2.9).abs() < 1e-12);
+        assert!((ledger.compile_seconds() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_both_ledgers() {
+        let mut a = CostLedger::new();
+        a.record(&measurement(1.0, 0.2, true));
+        let mut b = CostLedger::new();
+        b.record(&measurement(2.0, 0.0, false));
+        b.record(&measurement(2.0, 0.3, true));
+        a.merge(&b);
+        assert_eq!(a.runs(), 3);
+        assert_eq!(a.compilations(), 2);
+        assert!((a.total_seconds() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let ledger = CostLedger::new();
+        assert_eq!(ledger.total_seconds(), 0.0);
+        assert_eq!(ledger.runs(), 0);
+    }
+}

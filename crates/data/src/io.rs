@@ -1,0 +1,113 @@
+//! Dataset serialization.
+//!
+//! Datasets are expensive to profile (the paper's took days of machine time),
+//! so being able to save and reload them is essential. JSON is used for
+//! portability and easy inspection.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::Result;
+
+/// Serializes a dataset as JSON to any writer.
+///
+/// # Errors
+///
+/// Returns an error when serialization or the underlying write fails.
+pub fn write_dataset<W: Write>(dataset: &Dataset, writer: W) -> Result<()> {
+    serde_json::to_writer(writer, dataset)?;
+    Ok(())
+}
+
+/// Deserializes a dataset from JSON read from any reader.
+///
+/// # Errors
+///
+/// Returns an error when the stream cannot be read or parsed.
+pub fn read_dataset<R: Read>(reader: R) -> Result<Dataset> {
+    Ok(serde_json::from_reader(reader)?)
+}
+
+/// Saves a dataset to a JSON file at `path`.
+///
+/// # Errors
+///
+/// Returns an error when the file cannot be created or written.
+pub fn save_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> Result<()> {
+    let file = File::create(path)?;
+    write_dataset(dataset, BufWriter::new(file))
+}
+
+/// Loads a dataset from a JSON file at `path`.
+///
+/// # Errors
+///
+/// Returns an error when the file cannot be opened or parsed.
+pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset> {
+    let file = File::open(path)?;
+    read_dataset(BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DataPoint, Dataset};
+    use alic_sim::space::Configuration;
+
+    fn tiny_dataset() -> Dataset {
+        let points = vec![
+            DataPoint {
+                configuration: Configuration::new(vec![1, 2]),
+                mean_runtime: 1.5,
+                runtime_variance: 0.01,
+                observations: 5,
+                compile_time: 0.4,
+                true_mean: 1.49,
+            },
+            DataPoint {
+                configuration: Configuration::new(vec![3, 4]),
+                mean_runtime: 2.5,
+                runtime_variance: 0.02,
+                observations: 5,
+                compile_time: 0.5,
+                true_mean: 2.52,
+            },
+        ];
+        Dataset::from_points("toy", points)
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_dataset() {
+        let dataset = tiny_dataset();
+        let mut buffer = Vec::new();
+        write_dataset(&dataset, &mut buffer).unwrap();
+        let loaded = read_dataset(buffer.as_slice()).unwrap();
+        assert_eq!(dataset, loaded);
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_the_dataset() {
+        let dataset = tiny_dataset();
+        let dir = std::env::temp_dir().join("alic-data-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dataset.json");
+        save_dataset(&dataset, &path).unwrap();
+        let loaded = load_dataset(&path).unwrap();
+        assert_eq!(dataset, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        let err = read_dataset("not json".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("parse"));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_dataset("/nonexistent/path/dataset.json").unwrap_err();
+        assert!(err.to_string().contains("I/O"));
+    }
+}

@@ -1,0 +1,385 @@
+//! Static CART-style regression tree.
+//!
+//! This is the classical decision-tree regressor of Breiman et al. that the
+//! dynamic tree generalizes (§3.2: "The static model used within the dynamic
+//! tree framework is a traditional decision tree for regression
+//! applications"). It is built once by greedy variance-reduction splitting
+//! and serves both as a standalone baseline model and as a reference point
+//! for the dynamic tree's behaviour in tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::leaf::{LeafPrior, LeafStats};
+use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
+use crate::{validate_training_set, ModelError, Result};
+
+/// Configuration of the static regression tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CartConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of observations required in each child of a split.
+    pub min_leaf: usize,
+    /// Minimum relative variance reduction for a split to be accepted.
+    pub min_gain: f64,
+}
+
+impl Default for CartConfig {
+    fn default() -> Self {
+        CartConfig {
+            max_depth: 12,
+            min_leaf: 3,
+            min_gain: 1e-4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        stats: LeafStats,
+    },
+    Split {
+        dimension: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Greedy variance-reduction regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionTree {
+    config: CartConfig,
+    nodes: Vec<Node>,
+    prior: LeafPrior,
+    dimension: Option<usize>,
+    observations: usize,
+}
+
+impl RegressionTree {
+    /// Creates an unfitted tree with the given configuration.
+    pub fn new(config: CartConfig) -> Self {
+        RegressionTree {
+            config,
+            nodes: Vec::new(),
+            prior: LeafPrior::default(),
+            dimension: None,
+            observations: 0,
+        }
+    }
+
+    /// Creates an unfitted tree with default configuration.
+    pub fn with_defaults() -> Self {
+        RegressionTree::new(CartConfig::default())
+    }
+
+    /// Number of leaves in the fitted tree (zero before fitting).
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Depth of the fitted tree (zero before fitting).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], index: usize) -> usize {
+            match &nodes[index] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    fn build(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        indices: Vec<usize>,
+        depth: usize,
+    ) -> usize {
+        let stats = LeafStats::from_targets(&indices.iter().map(|&i| ys[i]).collect::<Vec<_>>());
+        let node_variance = variance_of(&indices, ys);
+        if depth >= self.config.max_depth
+            || indices.len() < 2 * self.config.min_leaf
+            || node_variance <= 1e-18
+        {
+            self.nodes.push(Node::Leaf { stats });
+            return self.nodes.len() - 1;
+        }
+        // Greedy best split over all dimensions and midpoints.
+        let dim = xs[0].len();
+        let mut best: Option<(usize, f64, f64)> = None; // (dimension, threshold, gain)
+        for d in 0..dim {
+            let mut values: Vec<f64> = indices.iter().map(|&i| xs[i][d]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            for w in values.windows(2) {
+                let threshold = 0.5 * (w[0] + w[1]);
+                let (left, right): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| xs[i][d] <= threshold);
+                if left.len() < self.config.min_leaf || right.len() < self.config.min_leaf {
+                    continue;
+                }
+                let weighted = (left.len() as f64 * variance_of(&left, ys)
+                    + right.len() as f64 * variance_of(&right, ys))
+                    / indices.len() as f64;
+                let gain = node_variance - weighted;
+                if best.map_or(true, |(_, _, g)| gain > g) {
+                    best = Some((d, threshold, gain));
+                }
+            }
+        }
+        match best {
+            Some((dimension, threshold, gain))
+                if gain > self.config.min_gain * node_variance.max(1e-12) =>
+            {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| xs[i][dimension] <= threshold);
+                let placeholder = self.nodes.len();
+                self.nodes.push(Node::Leaf { stats: LeafStats::new() });
+                let left = self.build(xs, ys, left_idx, depth + 1);
+                let right = self.build(xs, ys, right_idx, depth + 1);
+                self.nodes[placeholder] = Node::Split {
+                    dimension,
+                    threshold,
+                    left,
+                    right,
+                };
+                placeholder
+            }
+            _ => {
+                self.nodes.push(Node::Leaf { stats });
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    fn leaf_for(&self, x: &[f64]) -> Result<&LeafStats> {
+        if self.nodes.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        let mut index = 0;
+        loop {
+            match &self.nodes[index] {
+                Node::Leaf { stats } => return Ok(stats),
+                Node::Split {
+                    dimension,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    index = if x[*dimension] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn check_dimension(&self, x: &[f64]) -> Result<()> {
+        match self.dimension {
+            None => Err(ModelError::NotFitted),
+            Some(d) if d == x.len() => Ok(()),
+            Some(d) => Err(ModelError::DimensionMismatch {
+                expected: d,
+                actual: x.len(),
+            }),
+        }
+    }
+}
+
+fn variance_of(indices: &[usize], ys: &[f64]) -> f64 {
+    if indices.len() < 2 {
+        return 0.0;
+    }
+    let mean = indices.iter().map(|&i| ys[i]).sum::<f64>() / indices.len() as f64;
+    indices
+        .iter()
+        .map(|&i| (ys[i] - mean) * (ys[i] - mean))
+        .sum::<f64>()
+        / (indices.len() - 1) as f64
+}
+
+impl SurrogateModel for RegressionTree {
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+        let dim = validate_training_set(xs, ys)?;
+        self.nodes.clear();
+        self.dimension = Some(dim);
+        self.observations = ys.len();
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let var = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / ys.len() as f64;
+        self.prior = LeafPrior::weakly_informative(mean, (var * 0.25).max(1e-12));
+        let indices: Vec<usize> = (0..ys.len()).collect();
+        self.build(xs, ys, indices, 0);
+        Ok(())
+    }
+
+    fn update(&mut self, x: &[f64], y: f64) -> Result<()> {
+        // A static tree cannot restructure itself; the new observation is
+        // absorbed into the leaf that contains it. (This limitation is
+        // exactly why the dynamic tree exists.)
+        self.check_dimension(x)?;
+        if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::NonFiniteInput);
+        }
+        let mut index = 0;
+        loop {
+            match &mut self.nodes[index] {
+                Node::Leaf { stats } => {
+                    stats.push(y);
+                    self.observations += 1;
+                    return Ok(());
+                }
+                Node::Split {
+                    dimension,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    index = if x[*dimension] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<Prediction> {
+        self.check_dimension(x)?;
+        let stats = self.leaf_for(x)?;
+        let (mean, variance) = stats.predictive_mean_variance(&self.prior);
+        Ok(Prediction::new(mean, variance))
+    }
+
+    fn observation_count(&self) -> usize {
+        self.observations
+    }
+
+    fn dimension(&self) -> Option<usize> {
+        self.dimension
+    }
+}
+
+impl ActiveSurrogate for RegressionTree {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // A step function: 1.0 below x = 0.5, 3.0 above.
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| if x[0] <= 0.5 { 1.0 } else { 3.0 }).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let (xs, ys) = step_data();
+        let mut tree = RegressionTree::with_defaults();
+        tree.fit(&xs, &ys).unwrap();
+        assert!((tree.predict(&[0.2]).unwrap().mean - 1.0).abs() < 0.1);
+        assert!((tree.predict(&[0.8]).unwrap().mean - 3.0).abs() < 0.1);
+        assert!(tree.leaf_count() >= 2);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys = vec![5.0; 20];
+        let mut tree = RegressionTree::with_defaults();
+        tree.fit(&xs, &ys).unwrap();
+        assert_eq!(tree.leaf_count(), 1);
+        assert!((tree.predict(&[7.5]).unwrap().mean - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (xs, ys) = step_data();
+        let mut tree = RegressionTree::new(CartConfig {
+            max_depth: 1,
+            ..Default::default()
+        });
+        tree.fit(&xs, &ys).unwrap();
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn update_shifts_leaf_predictions() {
+        let (xs, ys) = step_data();
+        let mut tree = RegressionTree::with_defaults();
+        tree.fit(&xs, &ys).unwrap();
+        let before = tree.predict(&[0.2]).unwrap().mean;
+        for _ in 0..200 {
+            tree.update(&[0.2], 2.0).unwrap();
+        }
+        let after = tree.predict(&[0.2]).unwrap().mean;
+        assert!(after > before, "leaf mean should move towards the new data");
+        assert_eq!(tree.observation_count(), 40 + 200);
+    }
+
+    #[test]
+    fn predict_before_fit_is_an_error() {
+        let tree = RegressionTree::with_defaults();
+        assert_eq!(tree.predict(&[1.0]).unwrap_err(), ModelError::NotFitted);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let (xs, ys) = step_data();
+        let mut tree = RegressionTree::with_defaults();
+        tree.fit(&xs, &ys).unwrap();
+        assert!(matches!(
+            tree.predict(&[1.0, 2.0]),
+            Err(ModelError::DimensionMismatch { expected: 1, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn two_dimensional_interaction_is_partially_captured() {
+        // y depends on both dimensions; check the tree differentiates the corners.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..15 {
+            for j in 0..15 {
+                let a = i as f64 / 14.0;
+                let b = j as f64 / 14.0;
+                xs.push(vec![a, b]);
+                ys.push(if a > 0.5 && b > 0.5 { 4.0 } else { 1.0 });
+            }
+        }
+        let mut tree = RegressionTree::with_defaults();
+        tree.fit(&xs, &ys).unwrap();
+        assert!(tree.predict(&[0.9, 0.9]).unwrap().mean > 3.0);
+        assert!(tree.predict(&[0.1, 0.9]).unwrap().mean < 2.0);
+    }
+
+    #[test]
+    fn variance_is_higher_in_noisy_regions() {
+        // Left half is quiet, right half is noisy.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..60 {
+            let x = i as f64 / 59.0;
+            xs.push(vec![x]);
+            if x <= 0.5 {
+                ys.push(1.0 + 0.001 * (i % 3) as f64);
+            } else {
+                ys.push(3.0 + ((i % 7) as f64 - 3.0) * 0.5);
+            }
+        }
+        let mut tree = RegressionTree::with_defaults();
+        tree.fit(&xs, &ys).unwrap();
+        let quiet = tree.predict(&[0.25]).unwrap().variance;
+        let noisy = tree.predict(&[0.75]).unwrap().variance;
+        assert!(noisy > quiet);
+    }
+}

@@ -1,0 +1,629 @@
+//! Dynamic trees via particle learning (Taddy, Gramacy & Polson).
+//!
+//! The dynamic tree is the surrogate model at the heart of the paper's
+//! active learner (§3.2). It maintains a *set of particles*, each holding one
+//! regression tree. When a new observation `(x, y)` arrives:
+//!
+//! 1. every particle is weighted by the posterior-predictive density of `y`
+//!    at the leaf containing `x`,
+//! 2. particles are resampled in proportion to those weights,
+//! 3. each surviving particle stochastically applies one of the three moves
+//!    of Figure 4 — **stay**, **grow** (split the leaf that received the new
+//!    point) or **prune** (collapse the leaf's parent) — with probabilities
+//!    proportional to the Bayesian-CART posterior of the resulting tree.
+//!
+//! Predictions average the per-particle Student-t posterior predictives, so
+//! both a mean and a variance are available at any point of the space — the
+//! ingredients the ALM/ALC acquisition criteria need (§3.3).
+
+pub mod tree;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use alic_stats::rng::{seeded_stream, Rng as StatsRng};
+
+use crate::leaf::{LeafPrior, LeafStats};
+use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
+use crate::{validate_training_set, ModelError, Result};
+
+pub use tree::{ParticleTree, Split};
+
+/// Configuration of the dynamic-tree model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynaTreeConfig {
+    /// Number of particles. The paper sets the R `dynaTree` package to 5,000
+    /// particles; a few hundred are sufficient for the simulated workloads
+    /// and keep the experiment harness fast.
+    pub particles: usize,
+    /// Base of the Chipman–George–McCulloch split prior
+    /// `p_split(depth) = alpha (1 + depth)^(-beta)`.
+    pub alpha: f64,
+    /// Decay exponent of the split prior.
+    pub beta: f64,
+    /// Minimum number of observations in each child of a split.
+    pub min_leaf: usize,
+    /// Number of random split proposals considered per grow move.
+    pub grow_attempts: usize,
+    /// Seed for the model's internal randomness (resampling and moves).
+    pub seed: u64,
+}
+
+impl Default for DynaTreeConfig {
+    fn default() -> Self {
+        DynaTreeConfig {
+            particles: 200,
+            alpha: 0.95,
+            beta: 2.0,
+            min_leaf: 2,
+            grow_attempts: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Particle-learning dynamic-tree regressor.
+///
+/// See the [module documentation](self) for the algorithm and the crate
+/// documentation for a usage example.
+#[derive(Debug, Clone)]
+pub struct DynaTree {
+    config: DynaTreeConfig,
+    prior: LeafPrior,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    particles: Vec<ParticleTree>,
+    rng: StatsRng,
+    dimension: Option<usize>,
+}
+
+impl DynaTree {
+    /// Creates an unfitted model with the given configuration.
+    pub fn new(config: DynaTreeConfig) -> Self {
+        DynaTree {
+            config,
+            prior: LeafPrior::default(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            particles: Vec::new(),
+            rng: seeded_stream(config.seed, 0xD14A),
+            dimension: None,
+        }
+    }
+
+    /// Creates an unfitted model with default configuration and the given
+    /// seed.
+    pub fn with_seed(seed: u64) -> Self {
+        DynaTree::new(DynaTreeConfig {
+            seed,
+            ..Default::default()
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DynaTreeConfig {
+        &self.config
+    }
+
+    /// The shared leaf prior (derived from the initial training targets).
+    pub fn prior(&self) -> &LeafPrior {
+        &self.prior
+    }
+
+    /// Average number of leaves across particles (a measure of model
+    /// complexity).
+    pub fn mean_leaf_count(&self) -> f64 {
+        if self.particles.is_empty() {
+            return 0.0;
+        }
+        self.particles.iter().map(|p| p.leaf_count() as f64).sum::<f64>()
+            / self.particles.len() as f64
+    }
+
+    fn p_split(&self, depth: usize) -> f64 {
+        (self.config.alpha * (1.0 + depth as f64).powf(-self.config.beta)).clamp(1e-9, 1.0 - 1e-9)
+    }
+
+    fn check_dimension(&self, x: &[f64]) -> Result<()> {
+        match self.dimension {
+            None => Err(ModelError::NotFitted),
+            Some(d) if d == x.len() => Ok(()),
+            Some(d) => Err(ModelError::DimensionMismatch {
+                expected: d,
+                actual: x.len(),
+            }),
+        }
+    }
+
+    /// Systematic resampling of particle indices proportionally to the given
+    /// log weights.
+    fn resample_indices(&mut self, log_weights: &[f64]) -> Vec<usize> {
+        let n = log_weights.len();
+        let max = log_weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = log_weights.iter().map(|w| (w - max).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        if !(total.is_finite()) || total <= 0.0 {
+            return (0..n).collect();
+        }
+        let step = total / n as f64;
+        let start: f64 = self.rng.gen_range(0.0..step);
+        let mut indices = Vec::with_capacity(n);
+        let mut cumulative = weights[0];
+        let mut j = 0;
+        for i in 0..n {
+            let target = start + i as f64 * step;
+            while cumulative < target && j + 1 < n {
+                j += 1;
+                cumulative += weights[j];
+            }
+            indices.push(j);
+        }
+        indices
+    }
+
+    /// Proposes a random split of `leaf` in `particle`, returning the split
+    /// together with the log marginal likelihood of the resulting children.
+    fn propose_split(&mut self, particle: &ParticleTree, leaf: usize) -> Option<(Split, f64)> {
+        let points = particle.leaf_points(leaf);
+        if points.len() < 2 * self.config.min_leaf {
+            return None;
+        }
+        let dim = self.dimension?;
+        let mut best: Option<(Split, f64)> = None;
+        for _ in 0..self.config.grow_attempts {
+            let d = self.rng.gen_range(0..dim);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &p in points {
+                lo = lo.min(self.xs[p][d]);
+                hi = hi.max(self.xs[p][d]);
+            }
+            if !(hi > lo) {
+                continue;
+            }
+            let threshold = self.rng.gen_range(lo..hi);
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                points.iter().partition(|&&p| self.xs[p][d] <= threshold);
+            if left.len() < self.config.min_leaf || right.len() < self.config.min_leaf {
+                continue;
+            }
+            let left_stats =
+                LeafStats::from_targets(&left.iter().map(|&i| self.ys[i]).collect::<Vec<_>>());
+            let right_stats =
+                LeafStats::from_targets(&right.iter().map(|&i| self.ys[i]).collect::<Vec<_>>());
+            let lml = left_stats.log_marginal_likelihood(&self.prior)
+                + right_stats.log_marginal_likelihood(&self.prior);
+            let split = Split {
+                dimension: d,
+                threshold,
+            };
+            if best.as_ref().map_or(true, |(_, b)| lml > *b) {
+                best = Some((split, lml));
+            }
+        }
+        best
+    }
+
+    /// Applies one stochastic stay/prune/grow move to `particle` around the
+    /// leaf that just received a new observation.
+    fn apply_move(&mut self, particle: &mut ParticleTree, leaf: usize) {
+        let depth = particle.depth_of(leaf);
+        let leaf_lml = particle.leaf_stats(leaf).log_marginal_likelihood(&self.prior);
+
+        // Log-odds of the candidate moves relative to "stay" (whose log-odds
+        // are zero by construction).
+        let mut moves: Vec<(MoveKind, f64)> = vec![(MoveKind::Stay, 0.0)];
+
+        if let Some((split, children_lml)) = self.propose_split(particle, leaf) {
+            let p_here = self.p_split(depth);
+            let p_child = self.p_split(depth + 1);
+            let log_odds = children_lml - leaf_lml + p_here.ln() + 2.0 * (1.0 - p_child).ln()
+                - (1.0 - p_here).ln();
+            moves.push((MoveKind::Grow(split), log_odds));
+        }
+
+        if let Some(sibling) = particle.leaf_sibling(leaf) {
+            let sibling_lml = particle
+                .leaf_stats(sibling)
+                .log_marginal_likelihood(&self.prior);
+            let mut merged = particle.leaf_stats(leaf).clone();
+            merged.merge(particle.leaf_stats(sibling));
+            let merged_lml = merged.log_marginal_likelihood(&self.prior);
+            let parent_depth = depth.saturating_sub(1);
+            let p_parent = self.p_split(parent_depth);
+            let p_here = self.p_split(depth);
+            let log_odds = merged_lml + (1.0 - p_parent).ln()
+                - (leaf_lml + sibling_lml + p_parent.ln() + 2.0 * (1.0 - p_here).ln());
+            moves.push((MoveKind::Prune, log_odds));
+        }
+
+        // Sample a move with probability proportional to exp(log-odds).
+        let max = moves
+            .iter()
+            .map(|(_, w)| *w)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = moves.iter().map(|(_, w)| (w - max).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = self.rng.gen_range(0.0..total);
+        let mut chosen = MoveKind::Stay;
+        for ((kind, _), w) in moves.into_iter().zip(weights) {
+            if pick < w {
+                chosen = kind;
+                break;
+            }
+            pick -= w;
+        }
+
+        match chosen {
+            MoveKind::Stay => {}
+            MoveKind::Grow(split) => {
+                particle.grow(leaf, split, &self.xs, &self.ys, self.config.min_leaf);
+            }
+            MoveKind::Prune => {
+                particle.prune(leaf, &self.ys);
+            }
+        }
+    }
+
+    fn update_inner(&mut self, x: &[f64], y: f64) {
+        let index = self.ys.len();
+        self.xs.push(x.to_vec());
+        self.ys.push(y);
+
+        // 1. Weight particles by the predictive density of the new target.
+        let log_weights: Vec<f64> = self
+            .particles
+            .iter()
+            .map(|p| p.log_weight(x, y, &self.prior))
+            .collect();
+        // 2. Resample.
+        let indices = self.resample_indices(&log_weights);
+        let mut new_particles: Vec<ParticleTree> =
+            indices.iter().map(|&i| self.particles[i].clone()).collect();
+        // 3. Propagate: insert the point and apply one structural move.
+        for particle in &mut new_particles {
+            let leaf = particle.insert(x, index, y);
+            self.apply_move(particle, leaf);
+        }
+        self.particles = new_particles;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MoveKind {
+    Stay,
+    Grow(Split),
+    Prune,
+}
+
+impl SurrogateModel for DynaTree {
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+        let dim = validate_training_set(xs, ys)?;
+        self.dimension = Some(dim);
+        self.xs.clear();
+        self.ys.clear();
+        // Leaf prior derived from the initial targets: centre on their mean,
+        // expect within-leaf variance to be a fraction of the overall spread.
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let variance = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / ys.len() as f64;
+        self.prior = LeafPrior::weakly_informative(mean, (0.25 * variance).max(1e-10));
+
+        // Start every particle as a root leaf holding the first observation,
+        // then stream the remaining observations through the standard
+        // particle-learning update.
+        self.xs.push(xs[0].clone());
+        self.ys.push(ys[0]);
+        self.particles = (0..self.config.particles)
+            .map(|_| ParticleTree::new_root(vec![0], &self.ys))
+            .collect();
+        for (x, &y) in xs.iter().zip(ys).skip(1) {
+            self.update_inner(x, y);
+        }
+        Ok(())
+    }
+
+    fn update(&mut self, x: &[f64], y: f64) -> Result<()> {
+        self.check_dimension(x)?;
+        if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::NonFiniteInput);
+        }
+        self.update_inner(x, y);
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<Prediction> {
+        self.check_dimension(x)?;
+        if self.particles.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        let mut mean_acc = 0.0;
+        let mut second_moment = 0.0;
+        for particle in &self.particles {
+            let leaf = particle.find_leaf(x);
+            let (m, v) = particle
+                .leaf_stats(leaf)
+                .predictive_mean_variance(&self.prior);
+            mean_acc += m;
+            second_moment += v + m * m;
+        }
+        let n = self.particles.len() as f64;
+        let mean = mean_acc / n;
+        let variance = (second_moment / n - mean * mean).max(0.0);
+        Ok(Prediction::new(mean, variance))
+    }
+
+    fn observation_count(&self) -> usize {
+        self.ys.len()
+    }
+
+    fn dimension(&self) -> Option<usize> {
+        self.dimension
+    }
+}
+
+impl ActiveSurrogate for DynaTree {
+    fn alm_score(&self, candidate: &[f64]) -> Result<f64> {
+        Ok(self.predict(candidate)?.variance)
+    }
+
+    fn alc_score(&self, candidate: &[f64], reference: &[Vec<f64>]) -> Result<f64> {
+        let candidates = vec![candidate.to_vec()];
+        Ok(self.alc_scores(&candidates, reference)?[0])
+    }
+
+    fn alc_scores(&self, candidates: &[Vec<f64>], reference: &[Vec<f64>]) -> Result<Vec<f64>> {
+        if self.particles.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        for c in candidates {
+            self.check_dimension(c)?;
+        }
+        // With no reference set there is nothing to average over; fall back
+        // to the ALM criterion so the scores still order candidates usefully.
+        if reference.is_empty() {
+            return self.alm_scores(candidates);
+        }
+        // Pre-compute, per particle, the total predictive variance of the
+        // reference points falling into each leaf. Observing a candidate
+        // shrinks the predictive variance of that leaf by roughly a factor
+        // 1/(n_eff + 1), so the expected reduction in *average* variance over
+        // the reference set is (sum of the leaf's reference variance) /
+        // (n_eff + 1), averaged over particles. Leaves containing no
+        // reference mass contribute nothing — exactly like Cohn's criterion,
+        // which integrates the reduction over the input distribution.
+        let mut per_particle: Vec<std::collections::HashMap<usize, f64>> =
+            Vec::with_capacity(self.particles.len());
+        for particle in &self.particles {
+            let mut map = std::collections::HashMap::new();
+            for r in reference {
+                let leaf = particle.find_leaf(r);
+                let (_, v) = particle
+                    .leaf_stats(leaf)
+                    .predictive_mean_variance(&self.prior);
+                *map.entry(leaf).or_insert(0.0) += v;
+            }
+            per_particle.push(map);
+        }
+        let denominator = reference.len() as f64 * self.particles.len() as f64;
+        let scores = candidates
+            .iter()
+            .map(|c| {
+                let mut total = 0.0;
+                for (particle, map) in self.particles.iter().zip(&per_particle) {
+                    let leaf = particle.find_leaf(c);
+                    let affected = map.get(&leaf).copied().unwrap_or(0.0);
+                    if affected > 0.0 {
+                        let stats = particle.leaf_stats(leaf);
+                        let n_eff = stats.count() as f64 + self.prior.kappa;
+                        total += affected / (n_eff + 1.0);
+                    }
+                }
+                total / denominator
+            })
+            .collect();
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit_on(f: impl Fn(f64) -> f64, n: usize, seed: u64) -> DynaTree {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| f(x[0])).collect();
+        let mut model = DynaTree::new(DynaTreeConfig {
+            particles: 80,
+            seed,
+            ..Default::default()
+        });
+        model.fit(&xs, &ys).unwrap();
+        model
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let model = fit_on(|x| if x <= 0.5 { 1.0 } else { 3.0 }, 60, 1);
+        let low = model.predict(&[0.2]).unwrap();
+        let high = model.predict(&[0.8]).unwrap();
+        assert!((low.mean - 1.0).abs() < 0.4, "low mean {}", low.mean);
+        assert!((high.mean - 3.0).abs() < 0.4, "high mean {}", high.mean);
+        assert!(model.mean_leaf_count() > 1.0, "trees should have grown");
+    }
+
+    #[test]
+    fn learns_a_smooth_trend() {
+        let model = fit_on(|x| 2.0 + x, 80, 2);
+        let a = model.predict(&[0.1]).unwrap().mean;
+        let b = model.predict(&[0.9]).unwrap().mean;
+        assert!(b > a + 0.3, "prediction should increase along the trend: {a} vs {b}");
+    }
+
+    #[test]
+    fn incremental_updates_track_new_information() {
+        let mut model = fit_on(|_| 1.0, 30, 3);
+        // Feed contradicting data on the right half of the space.
+        for i in 0..60 {
+            let x = 0.75 + 0.25 * (i % 10) as f64 / 10.0;
+            model.update(&[x], 4.0).unwrap();
+        }
+        let right = model.predict(&[0.9]).unwrap().mean;
+        let left = model.predict(&[0.1]).unwrap().mean;
+        assert!(right > 2.5, "right half should have adapted, got {right}");
+        assert!(left < 2.5, "left half should still be near 1.0, got {left}");
+    }
+
+    #[test]
+    fn predictions_are_deterministic_for_a_seed() {
+        let a = fit_on(|x| x * x, 40, 7);
+        let b = fit_on(|x| x * x, 40, 7);
+        assert_eq!(a.predict(&[0.3]).unwrap(), b.predict(&[0.3]).unwrap());
+    }
+
+    #[test]
+    fn variance_is_higher_away_from_data() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 100.0]).collect(); // data in [0, 0.4]
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let mut model = DynaTree::new(DynaTreeConfig {
+            particles: 80,
+            seed: 5,
+            ..Default::default()
+        });
+        model.fit(&xs, &ys).unwrap();
+        let inside = model.predict(&[0.2]).unwrap().variance;
+        let outside = model.predict(&[0.95]).unwrap().variance;
+        assert!(
+            outside >= inside * 0.5,
+            "extrapolation should not be overconfident: inside {inside}, outside {outside}"
+        );
+    }
+
+    #[test]
+    fn noisy_region_gets_higher_predictive_variance() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..120 {
+            let x = i as f64 / 119.0;
+            xs.push(vec![x]);
+            if x <= 0.5 {
+                ys.push(1.0 + 0.002 * (i % 5) as f64);
+            } else {
+                ys.push(3.0 + ((i % 9) as f64 - 4.0) * 0.4);
+            }
+        }
+        let mut model = DynaTree::new(DynaTreeConfig {
+            particles: 100,
+            seed: 11,
+            ..Default::default()
+        });
+        model.fit(&xs, &ys).unwrap();
+        let quiet = model.predict(&[0.25]).unwrap().variance;
+        let noisy = model.predict(&[0.75]).unwrap().variance;
+        assert!(noisy > quiet, "noisy {noisy} should exceed quiet {quiet}");
+    }
+
+    #[test]
+    fn alm_and_alc_scores_are_finite_and_nonnegative() {
+        let model = fit_on(|x| (6.0 * x).sin(), 50, 13);
+        let reference: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        for c in [0.05, 0.37, 0.77] {
+            let alm = model.alm_score(&[c]).unwrap();
+            let alc = model.alc_score(&[c], &reference).unwrap();
+            assert!(alm.is_finite() && alm >= 0.0);
+            assert!(alc.is_finite() && alc >= 0.0);
+        }
+    }
+
+    #[test]
+    fn alc_prefers_the_noisy_sparse_region() {
+        // Dense quiet data on the left, sparse noisy data on the right.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..80 {
+            let x = 0.5 * i as f64 / 79.0;
+            xs.push(vec![x]);
+            ys.push(1.0);
+        }
+        for i in 0..6 {
+            let x = 0.6 + 0.4 * i as f64 / 5.0;
+            xs.push(vec![x]);
+            ys.push(2.0 + if i % 2 == 0 { 0.8 } else { -0.8 });
+        }
+        let mut model = DynaTree::new(DynaTreeConfig {
+            particles: 100,
+            seed: 17,
+            ..Default::default()
+        });
+        model.fit(&xs, &ys).unwrap();
+        let reference: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
+        let scores = model
+            .alc_scores(&[vec![0.25], vec![0.8]], &reference)
+            .unwrap();
+        assert!(
+            scores[1] > scores[0],
+            "noisy sparse region should be more informative: {scores:?}"
+        );
+    }
+
+    #[test]
+    fn batch_and_single_alc_agree() {
+        let model = fit_on(|x| x, 30, 19);
+        let reference: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let batch = model
+            .alc_scores(&[vec![0.3], vec![0.6]], &reference)
+            .unwrap();
+        let single0 = model.alc_score(&[0.3], &reference).unwrap();
+        let single1 = model.alc_score(&[0.6], &reference).unwrap();
+        assert!((batch[0] - single0).abs() < 1e-12);
+        assert!((batch[1] - single1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_before_fit_and_on_bad_input() {
+        let mut model = DynaTree::with_seed(0);
+        assert_eq!(model.predict(&[0.0]).unwrap_err(), ModelError::NotFitted);
+        assert_eq!(model.update(&[0.0], 1.0).unwrap_err(), ModelError::NotFitted);
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![0.0, 1.0, 2.0];
+        model.fit(&xs, &ys).unwrap();
+        assert!(matches!(
+            model.predict(&[0.0, 1.0]),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+        assert_eq!(
+            model.update(&[f64::NAN], 1.0).unwrap_err(),
+            ModelError::NonFiniteInput
+        );
+    }
+
+    #[test]
+    fn observation_count_tracks_fit_and_updates() {
+        let mut model = fit_on(|x| x, 25, 23);
+        assert_eq!(model.observation_count(), 25);
+        model.update(&[0.5], 0.5).unwrap();
+        assert_eq!(model.observation_count(), 26);
+        assert_eq!(model.dimension(), Some(1));
+    }
+
+    #[test]
+    fn two_dimensional_structure_is_recovered() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                let a = i as f64 / 11.0;
+                let b = j as f64 / 11.0;
+                xs.push(vec![a, b]);
+                ys.push(if a > 0.5 && b > 0.5 { 5.0 } else { 1.0 });
+            }
+        }
+        let mut model = DynaTree::new(DynaTreeConfig {
+            particles: 100,
+            seed: 29,
+            ..Default::default()
+        });
+        model.fit(&xs, &ys).unwrap();
+        assert!(model.predict(&[0.9, 0.9]).unwrap().mean > 3.0);
+        assert!(model.predict(&[0.1, 0.1]).unwrap().mean < 2.5);
+    }
+}

@@ -1,0 +1,399 @@
+//! A single particle's tree structure.
+//!
+//! Each particle of the dynamic-tree model carries one regression tree. The
+//! tree partitions the input space into axis-aligned hyper-rectangles; every
+//! leaf holds the indices of the training observations that fall inside it
+//! plus their sufficient statistics ([`LeafStats`]).
+//!
+//! The three structural moves of Taddy et al. (Figure 4 of the paper) are
+//! implemented here: **stay** (no change), **grow** (split the leaf that
+//! received the new observation) and **prune** (collapse the leaf's parent
+//! back into a leaf).
+
+use serde::{Deserialize, Serialize};
+
+use crate::leaf::{LeafPrior, LeafStats};
+
+/// A proposed axis-aligned split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    /// Feature dimension the split tests.
+    pub dimension: usize,
+    /// Points with `x[dimension] <= threshold` go to the left child.
+    pub threshold: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum NodeKind {
+    Leaf {
+        points: Vec<usize>,
+        stats: LeafStats,
+    },
+    Internal {
+        split: Split,
+        left: usize,
+        right: usize,
+    },
+    /// Slot freed by a prune, available for reuse by a later grow.
+    Free,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TreeNode {
+    parent: Option<usize>,
+    depth: usize,
+    kind: NodeKind,
+}
+
+/// One particle's regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParticleTree {
+    nodes: Vec<TreeNode>,
+    free: Vec<usize>,
+}
+
+impl ParticleTree {
+    /// Creates a tree consisting of a single root leaf containing `points`.
+    pub fn new_root(points: Vec<usize>, ys: &[f64]) -> Self {
+        let stats = LeafStats::from_targets(&points.iter().map(|&i| ys[i]).collect::<Vec<_>>());
+        ParticleTree {
+            nodes: vec![TreeNode {
+                parent: None,
+                depth: 0,
+                kind: NodeKind::Leaf { points, stats },
+            }],
+            free: Vec::new(),
+        }
+    }
+
+    /// Index of the leaf whose hyper-rectangle contains `x`.
+    pub fn find_leaf(&self, x: &[f64]) -> usize {
+        let mut index = 0;
+        loop {
+            match &self.nodes[index].kind {
+                NodeKind::Leaf { .. } => return index,
+                NodeKind::Internal { split, left, right } => {
+                    index = if x[split.dimension] <= split.threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+                NodeKind::Free => unreachable!("free node reached during traversal"),
+            }
+        }
+    }
+
+    /// Leaf statistics of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not a leaf.
+    pub fn leaf_stats(&self, index: usize) -> &LeafStats {
+        match &self.nodes[index].kind {
+            NodeKind::Leaf { stats, .. } => stats,
+            _ => panic!("node {index} is not a leaf"),
+        }
+    }
+
+    /// Point indices stored in leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not a leaf.
+    pub fn leaf_points(&self, index: usize) -> &[usize] {
+        match &self.nodes[index].kind {
+            NodeKind::Leaf { points, .. } => points,
+            _ => panic!("node {index} is not a leaf"),
+        }
+    }
+
+    /// Depth of node `index` (the root has depth 0).
+    pub fn depth_of(&self, index: usize) -> usize {
+        self.nodes[index].depth
+    }
+
+    /// Parent of node `index`.
+    pub fn parent_of(&self, index: usize) -> Option<usize> {
+        self.nodes[index].parent
+    }
+
+    /// The sibling of leaf `index`, if the sibling is itself a leaf.
+    pub fn leaf_sibling(&self, index: usize) -> Option<usize> {
+        let parent = self.nodes[index].parent?;
+        let NodeKind::Internal { left, right, .. } = &self.nodes[parent].kind else {
+            return None;
+        };
+        let sibling = if *left == index { *right } else { *left };
+        match self.nodes[sibling].kind {
+            NodeKind::Leaf { .. } => Some(sibling),
+            _ => None,
+        }
+    }
+
+    /// Number of live leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum depth over live leaves.
+    pub fn max_depth(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Leaf { .. }))
+            .map(|n| n.depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of points stored across live leaves.
+    pub fn point_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.kind {
+                NodeKind::Leaf { points, .. } => Some(points.len()),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Adds observation `point` (with target `y`) to the leaf containing `x`
+    /// and returns that leaf's index.
+    pub fn insert(&mut self, x: &[f64], point: usize, y: f64) -> usize {
+        let leaf = self.find_leaf(x);
+        match &mut self.nodes[leaf].kind {
+            NodeKind::Leaf { points, stats } => {
+                points.push(point);
+                stats.push(y);
+            }
+            _ => unreachable!("find_leaf returned a non-leaf"),
+        }
+        leaf
+    }
+
+    /// Log posterior-predictive density of `y` at the leaf containing `x`
+    /// (the particle weight used during resampling).
+    pub fn log_weight(&self, x: &[f64], y: f64, prior: &LeafPrior) -> f64 {
+        let leaf = self.find_leaf(x);
+        self.leaf_stats(leaf).log_predictive_density(prior, y)
+    }
+
+    /// Splits leaf `index` with `split`, distributing its points by the
+    /// feature matrix `xs`. Returns `false` (and leaves the tree unchanged)
+    /// if either child would receive fewer than `min_leaf` points.
+    pub fn grow(
+        &mut self,
+        index: usize,
+        split: Split,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        min_leaf: usize,
+    ) -> bool {
+        let (points, depth) = match &self.nodes[index].kind {
+            NodeKind::Leaf { points, .. } => (points.clone(), self.nodes[index].depth),
+            _ => return false,
+        };
+        let (left_pts, right_pts): (Vec<usize>, Vec<usize>) = points
+            .iter()
+            .partition(|&&p| xs[p][split.dimension] <= split.threshold);
+        if left_pts.len() < min_leaf || right_pts.len() < min_leaf {
+            return false;
+        }
+        let left_stats =
+            LeafStats::from_targets(&left_pts.iter().map(|&i| ys[i]).collect::<Vec<_>>());
+        let right_stats =
+            LeafStats::from_targets(&right_pts.iter().map(|&i| ys[i]).collect::<Vec<_>>());
+        let left = self.allocate(TreeNode {
+            parent: Some(index),
+            depth: depth + 1,
+            kind: NodeKind::Leaf {
+                points: left_pts,
+                stats: left_stats,
+            },
+        });
+        let right = self.allocate(TreeNode {
+            parent: Some(index),
+            depth: depth + 1,
+            kind: NodeKind::Leaf {
+                points: right_pts,
+                stats: right_stats,
+            },
+        });
+        self.nodes[index].kind = NodeKind::Internal { split, left, right };
+        true
+    }
+
+    /// Collapses the parent of leaf `index` back into a leaf containing the
+    /// union of its two children's points. Returns `false` if `index` is the
+    /// root or its sibling is not a leaf.
+    pub fn prune(&mut self, index: usize, ys: &[f64]) -> bool {
+        let Some(parent) = self.nodes[index].parent else {
+            return false;
+        };
+        let Some(sibling) = self.leaf_sibling(index) else {
+            return false;
+        };
+        let mut merged_points = self.leaf_points(index).to_vec();
+        merged_points.extend_from_slice(self.leaf_points(sibling));
+        let stats =
+            LeafStats::from_targets(&merged_points.iter().map(|&i| ys[i]).collect::<Vec<_>>());
+        self.nodes[index].kind = NodeKind::Free;
+        self.nodes[sibling].kind = NodeKind::Free;
+        self.free.push(index);
+        self.free.push(sibling);
+        self.nodes[parent].kind = NodeKind::Leaf {
+            points: merged_points,
+            stats,
+        };
+        true
+    }
+
+    fn allocate(&mut self, node: TreeNode) -> usize {
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot] = node;
+            slot
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Iterates over the indices of all live leaves.
+    pub fn leaves(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Leaf { .. }))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| if x[0] <= 0.5 { 1.0 } else { 2.0 }).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn root_leaf_holds_all_points() {
+        let (_, ys) = line_data(10);
+        let tree = ParticleTree::new_root((0..10).collect(), &ys);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.point_count(), 10);
+        assert_eq!(tree.max_depth(), 0);
+        assert_eq!(tree.find_leaf(&[0.3]), 0);
+    }
+
+    #[test]
+    fn grow_splits_points_by_threshold() {
+        let (xs, ys) = line_data(10);
+        let mut tree = ParticleTree::new_root((0..10).collect(), &ys);
+        let ok = tree.grow(
+            0,
+            Split { dimension: 0, threshold: 0.5 },
+            &xs,
+            &ys,
+            1,
+        );
+        assert!(ok);
+        assert_eq!(tree.leaf_count(), 2);
+        assert_eq!(tree.point_count(), 10);
+        let left = tree.find_leaf(&[0.1]);
+        let right = tree.find_leaf(&[0.9]);
+        assert_ne!(left, right);
+        assert!((tree.leaf_stats(left).mean() - 1.0).abs() < 1e-12);
+        assert!((tree.leaf_stats(right).mean() - 2.0).abs() < 1e-12);
+        assert_eq!(tree.depth_of(left), 1);
+    }
+
+    #[test]
+    fn grow_rejects_undersized_children() {
+        let (xs, ys) = line_data(10);
+        let mut tree = ParticleTree::new_root((0..10).collect(), &ys);
+        let ok = tree.grow(
+            0,
+            Split { dimension: 0, threshold: -1.0 },
+            &xs,
+            &ys,
+            1,
+        );
+        assert!(!ok, "all points on one side must be rejected");
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn prune_restores_the_parent_leaf() {
+        let (xs, ys) = line_data(10);
+        let mut tree = ParticleTree::new_root((0..10).collect(), &ys);
+        tree.grow(0, Split { dimension: 0, threshold: 0.5 }, &xs, &ys, 1);
+        let leaf = tree.find_leaf(&[0.1]);
+        assert!(tree.prune(leaf, &ys));
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.point_count(), 10);
+        // Freed slots are reused by the next grow.
+        assert!(tree.grow(0, Split { dimension: 0, threshold: 0.3 }, &xs, &ys, 1));
+        assert_eq!(tree.leaf_count(), 2);
+    }
+
+    #[test]
+    fn prune_of_root_is_rejected() {
+        let (_, ys) = line_data(4);
+        let mut tree = ParticleTree::new_root((0..4).collect(), &ys);
+        assert!(!tree.prune(0, &ys));
+    }
+
+    #[test]
+    fn insert_updates_the_correct_leaf() {
+        let (xs, ys) = line_data(10);
+        let mut tree = ParticleTree::new_root((0..10).collect(), &ys);
+        tree.grow(0, Split { dimension: 0, threshold: 0.5 }, &xs, &ys, 1);
+        let before = tree.leaf_stats(tree.find_leaf(&[0.9])).count();
+        let leaf = tree.insert(&[0.9], 10, 2.5);
+        assert_eq!(tree.leaf_stats(leaf).count(), before + 1);
+    }
+
+    #[test]
+    fn log_weight_is_higher_for_consistent_observations() {
+        let (xs, ys) = line_data(20);
+        let mut tree = ParticleTree::new_root((0..20).collect(), &ys);
+        tree.grow(0, Split { dimension: 0, threshold: 0.5 }, &xs, &ys, 1);
+        let prior = LeafPrior::weakly_informative(1.5, 0.25);
+        let consistent = tree.log_weight(&[0.2], 1.0, &prior);
+        let surprising = tree.log_weight(&[0.2], 5.0, &prior);
+        assert!(consistent > surprising);
+    }
+
+    #[test]
+    fn sibling_detection() {
+        let (xs, ys) = line_data(12);
+        let mut tree = ParticleTree::new_root((0..12).collect(), &ys);
+        tree.grow(0, Split { dimension: 0, threshold: 0.5 }, &xs, &ys, 1);
+        let left = tree.find_leaf(&[0.0]);
+        let right = tree.find_leaf(&[1.0]);
+        assert_eq!(tree.leaf_sibling(left), Some(right));
+        assert_eq!(tree.leaf_sibling(right), Some(left));
+        assert_eq!(tree.parent_of(left), Some(0));
+        // After growing the left leaf again, the right leaf's sibling is an
+        // internal node, so prune must not be offered there.
+        tree.grow(left, Split { dimension: 0, threshold: 0.25 }, &xs, &ys, 1);
+        assert_eq!(tree.leaf_sibling(right), None);
+    }
+
+    #[test]
+    fn leaves_iterator_matches_leaf_count() {
+        let (xs, ys) = line_data(16);
+        let mut tree = ParticleTree::new_root((0..16).collect(), &ys);
+        tree.grow(0, Split { dimension: 0, threshold: 0.5 }, &xs, &ys, 1);
+        let l = tree.find_leaf(&[0.2]);
+        tree.grow(l, Split { dimension: 0, threshold: 0.25 }, &xs, &ys, 1);
+        assert_eq!(tree.leaves().count(), tree.leaf_count());
+        assert_eq!(tree.leaf_count(), 3);
+    }
+}

@@ -1,0 +1,307 @@
+//! Gaussian-process regression.
+//!
+//! The paper notes (§3.2) that the "collective wisdom" choice for regression
+//! with uncertainty is a Gaussian Process, but that its `O(n³)` inference is
+//! too slow for an active-learning loop that refits after every observation.
+//! This implementation exists (a) as a quality reference for the dynamic
+//! tree, (b) to let the benchmark suite quantify exactly that cost gap, and
+//! (c) as an alternative surrogate for small problems.
+//!
+//! The kernel is a squared-exponential (RBF) with a constant mean function
+//! and a noise nugget; hyper-parameters are set by simple data-driven
+//! heuristics (median-distance lengthscale) rather than marginal-likelihood
+//! optimization, which is sufficient for the workloads in this workspace.
+
+use serde::{Deserialize, Serialize};
+
+use alic_stats::cholesky::Cholesky;
+use alic_stats::matrix::{squared_distance, Matrix};
+
+use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
+use crate::{validate_training_set, ModelError, Result};
+
+/// Hyper-parameters of the squared-exponential Gaussian process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpConfig {
+    /// Kernel lengthscale. `None` selects the median pairwise distance of the
+    /// training inputs at fit time.
+    pub lengthscale: Option<f64>,
+    /// Signal variance (vertical scale). `None` selects the training-target
+    /// variance at fit time.
+    pub signal_variance: Option<f64>,
+    /// Observation-noise variance added to the kernel diagonal.
+    pub noise_variance: f64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            lengthscale: None,
+            signal_variance: None,
+            noise_variance: 1e-4,
+        }
+    }
+}
+
+/// Squared-exponential Gaussian-process regressor.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    config: GpConfig,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    mean: f64,
+    lengthscale: f64,
+    signal_variance: f64,
+    chol: Option<Cholesky>,
+    alpha: Vec<f64>,
+    dimension: Option<usize>,
+}
+
+impl GaussianProcess {
+    /// Creates an unfitted Gaussian process with the given configuration.
+    pub fn new(config: GpConfig) -> Self {
+        GaussianProcess {
+            config,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            mean: 0.0,
+            lengthscale: 1.0,
+            signal_variance: 1.0,
+            chol: None,
+            alpha: Vec::new(),
+            dimension: None,
+        }
+    }
+
+    /// Creates an unfitted Gaussian process with default configuration.
+    pub fn with_defaults() -> Self {
+        GaussianProcess::new(GpConfig::default())
+    }
+
+    /// The lengthscale actually in use after fitting.
+    pub fn lengthscale(&self) -> f64 {
+        self.lengthscale
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2 = squared_distance(a, b).expect("dimension already validated");
+        self.signal_variance * (-0.5 * d2 / (self.lengthscale * self.lengthscale)).exp()
+    }
+
+    fn refit(&mut self) -> Result<()> {
+        let n = self.ys.len();
+        self.mean = self.ys.iter().sum::<f64>() / n as f64;
+        if self.config.lengthscale.is_none() {
+            self.lengthscale = median_pairwise_distance(&self.xs).max(1e-6);
+        } else {
+            self.lengthscale = self.config.lengthscale.unwrap();
+        }
+        if self.config.signal_variance.is_none() {
+            let var = self
+                .ys
+                .iter()
+                .map(|y| (y - self.mean) * (y - self.mean))
+                .sum::<f64>()
+                / n as f64;
+            self.signal_variance = var.max(1e-10);
+        } else {
+            self.signal_variance = self.config.signal_variance.unwrap();
+        }
+        let mut k = Matrix::from_fn(n, n, |i, j| self.kernel(&self.xs[i], &self.xs[j]));
+        k.add_diagonal(self.config.noise_variance.max(1e-10) + 1e-8 * self.signal_variance);
+        let chol = Cholesky::decompose(&k)
+            .map_err(|e| ModelError::Numerical(format!("kernel matrix decomposition failed: {e}")))?;
+        let centred: Vec<f64> = self.ys.iter().map(|y| y - self.mean).collect();
+        self.alpha = chol
+            .solve(&centred)
+            .map_err(|e| ModelError::Numerical(e.to_string()))?;
+        self.chol = Some(chol);
+        Ok(())
+    }
+
+    fn check_dimension(&self, x: &[f64]) -> Result<()> {
+        match self.dimension {
+            None => Err(ModelError::NotFitted),
+            Some(d) if d == x.len() => Ok(()),
+            Some(d) => Err(ModelError::DimensionMismatch {
+                expected: d,
+                actual: x.len(),
+            }),
+        }
+    }
+}
+
+fn median_pairwise_distance(xs: &[Vec<f64>]) -> f64 {
+    let mut distances = Vec::new();
+    // Sub-sample pairs for large training sets to keep this O(n) in practice.
+    let stride = (xs.len() / 64).max(1);
+    for i in (0..xs.len()).step_by(stride) {
+        for j in ((i + 1)..xs.len()).step_by(stride) {
+            let d2 = squared_distance(&xs[i], &xs[j]).expect("consistent dimensions");
+            if d2 > 0.0 {
+                distances.push(d2.sqrt());
+            }
+        }
+    }
+    if distances.is_empty() {
+        return 1.0;
+    }
+    distances.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    distances[distances.len() / 2]
+}
+
+impl SurrogateModel for GaussianProcess {
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+        let dim = validate_training_set(xs, ys)?;
+        self.dimension = Some(dim);
+        self.xs = xs.to_vec();
+        self.ys = ys.to_vec();
+        self.refit()
+    }
+
+    fn update(&mut self, x: &[f64], y: f64) -> Result<()> {
+        self.check_dimension(x)?;
+        if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::NonFiniteInput);
+        }
+        self.xs.push(x.to_vec());
+        self.ys.push(y);
+        // The O(n³) refit the paper complains about.
+        self.refit()
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<Prediction> {
+        self.check_dimension(x)?;
+        let chol = self.chol.as_ref().ok_or(ModelError::NotFitted)?;
+        let k_star: Vec<f64> = self.xs.iter().map(|xi| self.kernel(xi, x)).collect();
+        let mean = self.mean
+            + k_star
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
+        let v = chol
+            .forward_substitute(&k_star)
+            .map_err(|e| ModelError::Numerical(e.to_string()))?;
+        let explained: f64 = v.iter().map(|vi| vi * vi).sum();
+        let variance = (self.signal_variance + self.config.noise_variance - explained).max(0.0);
+        Ok(Prediction::new(mean, variance))
+    }
+
+    fn observation_count(&self) -> usize {
+        self.ys.len()
+    }
+
+    fn dimension(&self) -> Option<usize> {
+        self.dimension
+    }
+}
+
+impl ActiveSurrogate for GaussianProcess {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).sin()).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interpolates_training_points_closely() {
+        let (xs, ys) = sine_data(25);
+        let mut gp = GaussianProcess::with_defaults();
+        gp.fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = gp.predict(x).unwrap();
+            assert!((p.mean - y).abs() < 0.05, "at {x:?}: {} vs {y}", p.mean);
+        }
+    }
+
+    #[test]
+    fn predicts_between_training_points() {
+        let (xs, ys) = sine_data(30);
+        let mut gp = GaussianProcess::with_defaults();
+        gp.fit(&xs, &ys).unwrap();
+        let p = gp.predict(&[0.5]).unwrap();
+        assert!((p.mean - (1.5f64).sin()).abs() < 0.05);
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let (xs, ys) = sine_data(15);
+        let mut gp = GaussianProcess::new(GpConfig {
+            lengthscale: Some(0.1),
+            ..Default::default()
+        });
+        gp.fit(&xs, &ys).unwrap();
+        let near = gp.predict(&[0.5]).unwrap().variance;
+        let far = gp.predict(&[3.0]).unwrap().variance;
+        assert!(far > near);
+        assert!((far - (gp.signal_variance + gp.config.noise_variance)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn update_refits_and_improves_locally() {
+        let (xs, ys) = sine_data(10);
+        let mut gp = GaussianProcess::with_defaults();
+        gp.fit(&xs, &ys).unwrap();
+        let target = 2.0; // deliberately off the sine curve
+        for _ in 0..5 {
+            gp.update(&[2.0], target).unwrap();
+        }
+        let p = gp.predict(&[2.0]).unwrap();
+        assert!((p.mean - target).abs() < 0.2);
+        assert_eq!(gp.observation_count(), 15);
+    }
+
+    #[test]
+    fn errors_before_fit_and_on_bad_input() {
+        let gp = GaussianProcess::with_defaults();
+        assert_eq!(gp.predict(&[0.0]).unwrap_err(), ModelError::NotFitted);
+        let (xs, ys) = sine_data(5);
+        let mut gp = GaussianProcess::with_defaults();
+        gp.fit(&xs, &ys).unwrap();
+        assert!(matches!(
+            gp.predict(&[0.0, 1.0]),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+        assert_eq!(
+            gp.update(&[0.1], f64::INFINITY).unwrap_err(),
+            ModelError::NonFiniteInput
+        );
+    }
+
+    #[test]
+    fn duplicate_inputs_do_not_break_the_decomposition() {
+        let xs = vec![vec![0.5]; 12];
+        let ys = vec![1.0; 12];
+        let mut gp = GaussianProcess::with_defaults();
+        gp.fit(&xs, &ys).unwrap();
+        let p = gp.predict(&[0.5]).unwrap();
+        assert!((p.mean - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn alm_score_equals_predictive_variance() {
+        let (xs, ys) = sine_data(12);
+        let mut gp = GaussianProcess::with_defaults();
+        gp.fit(&xs, &ys).unwrap();
+        let p = gp.predict(&[0.3]).unwrap();
+        assert_eq!(gp.alm_score(&[0.3]).unwrap(), p.variance);
+    }
+
+    #[test]
+    fn fixed_hyperparameters_are_respected() {
+        let (xs, ys) = sine_data(10);
+        let mut gp = GaussianProcess::new(GpConfig {
+            lengthscale: Some(0.42),
+            signal_variance: Some(2.0),
+            noise_variance: 1e-3,
+        });
+        gp.fit(&xs, &ys).unwrap();
+        assert_eq!(gp.lengthscale(), 0.42);
+    }
+}

@@ -1,0 +1,164 @@
+//! k-nearest-neighbour regression.
+//!
+//! A distance-based sanity-check baseline: its prediction at `x` is the mean
+//! of the `k` nearest training targets and its variance is their sample
+//! variance. Useful for validating datasets and as a cheap comparison point
+//! for the tree models.
+
+use serde::{Deserialize, Serialize};
+
+use alic_stats::matrix::squared_distance;
+use alic_stats::summary::Summary;
+
+use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
+use crate::{validate_training_set, ModelError, Result};
+
+/// Configuration of the k-NN regressor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnnConfig {
+    /// Number of neighbours to average.
+    pub k: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig { k: 5 }
+    }
+}
+
+/// k-nearest-neighbour regressor.
+#[derive(Debug, Clone, Default)]
+pub struct KnnRegressor {
+    config: KnnConfig,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    dimension: Option<usize>,
+}
+
+impl KnnRegressor {
+    /// Creates an unfitted regressor with the given configuration.
+    pub fn new(config: KnnConfig) -> Self {
+        KnnRegressor {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// Creates an unfitted regressor averaging `k` neighbours.
+    pub fn with_k(k: usize) -> Self {
+        KnnRegressor::new(KnnConfig { k })
+    }
+
+    fn check_dimension(&self, x: &[f64]) -> Result<()> {
+        match self.dimension {
+            None => Err(ModelError::NotFitted),
+            Some(d) if d == x.len() => Ok(()),
+            Some(d) => Err(ModelError::DimensionMismatch {
+                expected: d,
+                actual: x.len(),
+            }),
+        }
+    }
+}
+
+impl SurrogateModel for KnnRegressor {
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+        let dim = validate_training_set(xs, ys)?;
+        self.dimension = Some(dim);
+        self.xs = xs.to_vec();
+        self.ys = ys.to_vec();
+        Ok(())
+    }
+
+    fn update(&mut self, x: &[f64], y: f64) -> Result<()> {
+        self.check_dimension(x)?;
+        if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::NonFiniteInput);
+        }
+        self.xs.push(x.to_vec());
+        self.ys.push(y);
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<Prediction> {
+        self.check_dimension(x)?;
+        let mut indexed: Vec<(f64, usize)> = self
+            .xs
+            .iter()
+            .enumerate()
+            .map(|(i, xi)| {
+                (
+                    squared_distance(xi, x).expect("dimension already validated"),
+                    i,
+                )
+            })
+            .collect();
+        indexed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let k = self.config.k.max(1).min(indexed.len());
+        let neighbours: Vec<f64> = indexed[..k].iter().map(|&(_, i)| self.ys[i]).collect();
+        let summary = Summary::from_slice(&neighbours);
+        Ok(Prediction::new(summary.mean, summary.variance))
+    }
+
+    fn observation_count(&self) -> usize {
+        self.ys.len()
+    }
+
+    fn dimension(&self) -> Option<usize> {
+        self.dimension
+    }
+}
+
+impl ActiveSurrogate for KnnRegressor {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_neighbour_recovers_local_structure() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let mut knn = KnnRegressor::with_k(3);
+        knn.fit(&xs, &ys).unwrap();
+        assert!((knn.predict(&[2.0]).unwrap().mean - 1.0).abs() < 1e-12);
+        assert!((knn.predict(&[17.0]).unwrap().mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_reflects_neighbour_disagreement() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys = vec![1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 6.0, 2.0, 6.0, 2.0];
+        let mut knn = KnnRegressor::with_k(3);
+        knn.fit(&xs, &ys).unwrap();
+        let quiet = knn.predict(&[1.0]).unwrap().variance;
+        let noisy = knn.predict(&[7.0]).unwrap().variance;
+        assert!(noisy > quiet);
+    }
+
+    #[test]
+    fn update_adds_neighbours() {
+        let xs = vec![vec![0.0], vec![10.0]];
+        let ys = vec![0.0, 10.0];
+        let mut knn = KnnRegressor::with_k(1);
+        knn.fit(&xs, &ys).unwrap();
+        knn.update(&[5.0], 5.0).unwrap();
+        assert!((knn.predict(&[5.1]).unwrap().mean - 5.0).abs() < 1e-12);
+        assert_eq!(knn.observation_count(), 3);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_uses_all_points() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![2.0, 4.0];
+        let mut knn = KnnRegressor::with_k(10);
+        knn.fit(&xs, &ys).unwrap();
+        assert!((knn.predict(&[0.5]).unwrap().mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_before_fit() {
+        let knn = KnnRegressor::with_k(3);
+        assert_eq!(knn.predict(&[0.0]).unwrap_err(), ModelError::NotFitted);
+    }
+}

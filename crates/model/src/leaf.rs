@@ -1,0 +1,271 @@
+//! Conjugate Gaussian leaf model.
+//!
+//! Every leaf of a (dynamic or static) regression tree models its targets as
+//! draws from a Gaussian with unknown mean and variance under a
+//! normal–inverse-gamma (NIG) prior. This gives, in closed form,
+//!
+//! * the posterior-predictive distribution of a new target (a Student-t),
+//! * the log marginal likelihood of the targets in the leaf (used to weight
+//!   the dynamic tree's stay/prune/grow moves), and
+//! * the log predictive density of a single new observation (used as the
+//!   particle weight during particle learning).
+
+use serde::{Deserialize, Serialize};
+
+use alic_stats::special::ln_gamma;
+use alic_stats::summary::OnlineStats;
+
+/// Normal–inverse-gamma prior shared by every leaf of a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeafPrior {
+    /// Prior mean of the leaf mean.
+    pub mean: f64,
+    /// Prior pseudo-observation count for the mean (`κ₀`).
+    pub kappa: f64,
+    /// Inverse-gamma shape (`a₀`).
+    pub shape: f64,
+    /// Inverse-gamma scale (`b₀`).
+    pub scale: f64,
+}
+
+impl LeafPrior {
+    /// A weakly informative prior centred on `mean` with a typical target
+    /// variance of `variance`.
+    pub fn weakly_informative(mean: f64, variance: f64) -> Self {
+        let shape = 2.0;
+        LeafPrior {
+            mean,
+            kappa: 0.1,
+            shape,
+            // E[σ²] = b / (a - 1) = variance  =>  b = variance (a - 1).
+            scale: (variance.max(1e-12)) * (shape - 1.0),
+        }
+    }
+}
+
+impl Default for LeafPrior {
+    fn default() -> Self {
+        LeafPrior::weakly_informative(0.0, 1.0)
+    }
+}
+
+/// Sufficient statistics of the targets currently assigned to a leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LeafStats {
+    stats: OnlineStats,
+}
+
+impl LeafStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        LeafStats {
+            stats: OnlineStats::new(),
+        }
+    }
+
+    /// Builds statistics from a slice of target values.
+    pub fn from_targets(targets: &[f64]) -> Self {
+        let mut leaf = LeafStats::new();
+        for &y in targets {
+            leaf.push(y);
+        }
+        leaf
+    }
+
+    /// Adds one target value.
+    pub fn push(&mut self, y: f64) {
+        self.stats.push(y);
+    }
+
+    /// Number of targets in the leaf.
+    pub fn count(&self) -> usize {
+        self.stats.count()
+    }
+
+    /// Mean of the targets in the leaf (zero when empty).
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Sum of squared deviations from the mean.
+    fn sum_sq_dev(&self) -> f64 {
+        self.stats.variance() * (self.stats.count().saturating_sub(1)) as f64
+    }
+
+    /// Posterior NIG parameters given `prior`.
+    fn posterior(&self, prior: &LeafPrior) -> LeafPrior {
+        let n = self.count() as f64;
+        if n == 0.0 {
+            return *prior;
+        }
+        let mean = self.mean();
+        let kappa_n = prior.kappa + n;
+        let mean_n = (prior.kappa * prior.mean + n * mean) / kappa_n;
+        let shape_n = prior.shape + 0.5 * n;
+        let scale_n = prior.scale
+            + 0.5 * self.sum_sq_dev()
+            + 0.5 * prior.kappa * n * (mean - prior.mean) * (mean - prior.mean) / kappa_n;
+        LeafPrior {
+            mean: mean_n,
+            kappa: kappa_n,
+            shape: shape_n,
+            scale: scale_n,
+        }
+    }
+
+    /// Posterior-predictive distribution of a new target: a Student-t with
+    /// the returned `(mean, scale², degrees of freedom)`.
+    pub fn posterior_predictive(&self, prior: &LeafPrior) -> (f64, f64, f64) {
+        let post = self.posterior(prior);
+        let df = 2.0 * post.shape;
+        let scale_sq = post.scale * (post.kappa + 1.0) / (post.shape * post.kappa);
+        (post.mean, scale_sq, df)
+    }
+
+    /// Posterior-predictive mean and *variance* of a new target.
+    ///
+    /// The variance of a Student-t with `df > 2` is `scale² · df / (df − 2)`;
+    /// for `df ≤ 2` the scale² itself is returned as a conservative proxy.
+    pub fn predictive_mean_variance(&self, prior: &LeafPrior) -> (f64, f64) {
+        let (mean, scale_sq, df) = self.posterior_predictive(prior);
+        let variance = if df > 2.0 {
+            scale_sq * df / (df - 2.0)
+        } else {
+            scale_sq
+        };
+        (mean, variance)
+    }
+
+    /// Log marginal likelihood of the targets in this leaf under `prior`.
+    pub fn log_marginal_likelihood(&self, prior: &LeafPrior) -> f64 {
+        let n = self.count() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let post = self.posterior(prior);
+        ln_gamma(post.shape) - ln_gamma(prior.shape) + prior.shape * prior.scale.ln()
+            - post.shape * post.scale.ln()
+            + 0.5 * (prior.kappa.ln() - post.kappa.ln())
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Log posterior-predictive density of a single new target `y`.
+    pub fn log_predictive_density(&self, prior: &LeafPrior, y: f64) -> f64 {
+        let (mean, scale_sq, df) = self.posterior_predictive(prior);
+        let z = (y - mean) * (y - mean) / (df * scale_sq);
+        ln_gamma(0.5 * (df + 1.0))
+            - ln_gamma(0.5 * df)
+            - 0.5 * (df * std::f64::consts::PI * scale_sq).ln()
+            - 0.5 * (df + 1.0) * (1.0 + z).ln()
+    }
+
+    /// Merges another leaf's statistics into this one (used when pruning).
+    pub fn merge(&mut self, other: &LeafStats) {
+        self.stats.merge(&other.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prior() -> LeafPrior {
+        LeafPrior::weakly_informative(1.0, 0.25)
+    }
+
+    #[test]
+    fn empty_leaf_predicts_the_prior() {
+        let leaf = LeafStats::new();
+        let (mean, var) = leaf.predictive_mean_variance(&prior());
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert!(var > 0.0);
+        assert_eq!(leaf.log_marginal_likelihood(&prior()), 0.0);
+    }
+
+    #[test]
+    fn predictive_mean_approaches_sample_mean_with_data() {
+        let targets: Vec<f64> = (0..50).map(|i| 3.0 + 0.01 * (i % 5) as f64).collect();
+        let leaf = LeafStats::from_targets(&targets);
+        let (mean, _) = leaf.predictive_mean_variance(&prior());
+        assert!((mean - leaf.mean()).abs() < 0.02, "mean {mean} vs {}", leaf.mean());
+    }
+
+    #[test]
+    fn predictive_variance_shrinks_with_more_data() {
+        let few = LeafStats::from_targets(&[2.0, 2.1, 1.9]);
+        let many = LeafStats::from_targets(&(0..60).map(|i| 2.0 + 0.1 * ((i % 3) as f64 - 1.0)).collect::<Vec<_>>());
+        let (_, var_few) = few.predictive_mean_variance(&prior());
+        let (_, var_many) = many.predictive_mean_variance(&prior());
+        assert!(var_many < var_few);
+    }
+
+    #[test]
+    fn noisier_targets_have_larger_predictive_variance() {
+        let quiet = LeafStats::from_targets(&[1.0, 1.01, 0.99, 1.0, 1.02, 0.98]);
+        let noisy = LeafStats::from_targets(&[0.2, 1.8, 0.5, 1.5, 0.1, 1.9]);
+        let (_, var_quiet) = quiet.predictive_mean_variance(&prior());
+        let (_, var_noisy) = noisy.predictive_mean_variance(&prior());
+        assert!(var_noisy > var_quiet);
+    }
+
+    #[test]
+    fn marginal_likelihood_prefers_homogeneous_leaves() {
+        // Same number of points; tight cluster should have higher marginal
+        // likelihood than widely spread targets.
+        let tight = LeafStats::from_targets(&[1.0, 1.02, 0.98, 1.01, 0.99]);
+        let spread = LeafStats::from_targets(&[0.0, 2.0, -1.0, 3.0, 1.0]);
+        assert!(
+            tight.log_marginal_likelihood(&prior()) > spread.log_marginal_likelihood(&prior())
+        );
+    }
+
+    #[test]
+    fn predictive_density_peaks_at_the_leaf_mean() {
+        let leaf = LeafStats::from_targets(&[2.0, 2.05, 1.95, 2.02, 1.98]);
+        let at_mean = leaf.log_predictive_density(&prior(), 2.0);
+        let far = leaf.log_predictive_density(&prior(), 5.0);
+        assert!(at_mean > far);
+    }
+
+    #[test]
+    fn merge_equals_fitting_on_concatenated_targets() {
+        let a_targets = [1.0, 1.2, 0.8];
+        let b_targets = [2.0, 2.2, 1.8, 2.1];
+        let mut a = LeafStats::from_targets(&a_targets);
+        let b = LeafStats::from_targets(&b_targets);
+        a.merge(&b);
+        let all: Vec<f64> = a_targets.iter().chain(b_targets.iter()).copied().collect();
+        let combined = LeafStats::from_targets(&all);
+        assert_eq!(a.count(), combined.count());
+        assert!((a.mean() - combined.mean()).abs() < 1e-12);
+        let (ma, va) = a.predictive_mean_variance(&prior());
+        let (mc, vc) = combined.predictive_mean_variance(&prior());
+        assert!((ma - mc).abs() < 1e-10);
+        assert!((va - vc).abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_marginal_likelihood_is_consistent_with_sequential_predictives() {
+        // Chain rule: LML(y1..yn) = Σ log p(y_i | y_1..y_{i-1}).
+        let targets = [0.5, 0.7, 0.4, 0.6, 0.55];
+        let p = prior();
+        let mut sequential = 0.0;
+        let mut leaf = LeafStats::new();
+        for &y in &targets {
+            sequential += leaf.log_predictive_density(&p, y);
+            leaf.push(y);
+        }
+        let direct = leaf.log_marginal_likelihood(&p);
+        assert!(
+            (sequential - direct).abs() < 1e-8,
+            "chain rule {sequential} vs direct {direct}"
+        );
+    }
+
+    #[test]
+    fn weakly_informative_prior_matches_requested_variance() {
+        let p = LeafPrior::weakly_informative(0.0, 4.0);
+        // E[σ²] = b/(a-1) = 4.
+        assert!((p.scale / (p.shape - 1.0) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,254 @@
+//! Cholesky decomposition and symmetric-positive-definite solves.
+//!
+//! The Gaussian-process comparison model (the "collective wisdom" model the
+//! paper contrasts with dynamic trees in §3.2) needs `K⁻¹ y` and log
+//! determinants of kernel matrices. A plain `LLᵀ` factorization is sufficient
+//! at the sizes used in this workspace.
+
+use crate::matrix::Matrix;
+use crate::{Result, StatsError};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    factor: Matrix,
+}
+
+impl Cholesky {
+    /// Decomposes a symmetric positive-definite matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] for non-square input and
+    /// [`StatsError::NotPositiveDefinite`] when a non-positive pivot is
+    /// encountered.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), alic_stats::StatsError> {
+    /// use alic_stats::{cholesky::Cholesky, Matrix};
+    /// let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]])?;
+    /// let chol = Cholesky::decompose(&a)?;
+    /// let x = chol.solve(&[2.0, 3.0])?;
+    /// // Verify A x = b.
+    /// let b = a.matvec(&x)?;
+    /// assert!((b[0] - 2.0).abs() < 1e-10 && (b[1] - 3.0).abs() < 1e-10);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn decompose(matrix: &Matrix) -> Result<Self> {
+        if matrix.rows() != matrix.cols() {
+            return Err(StatsError::DimensionMismatch {
+                expected: matrix.rows(),
+                actual: matrix.cols(),
+            });
+        }
+        let n = matrix.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = matrix.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(StatsError::NotPositiveDefinite);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { factor: l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.factor
+    }
+
+    /// Dimension of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.factor.rows()
+    }
+
+    /// Solves `A x = b` using forward then backward substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Forward substitution: L z = b.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.factor.get(i, k) * z[k];
+            }
+            z[i] = sum / self.factor.get(i, i);
+        }
+        // Backward substitution: Lᵀ x = z.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for k in (i + 1)..n {
+                sum -= self.factor.get(k, i) * x[k];
+            }
+            x[i] = sum / self.factor.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves only the forward-substitution half, `L z = b`.
+    ///
+    /// Needed by the Gaussian process to compute predictive variances
+    /// (`vᵀ v` with `v = L⁻¹ k*`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `b` has the wrong
+    /// length.
+    pub fn forward_substitute(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.factor.get(i, k) * z[k];
+            }
+            z[i] = sum / self.factor.get(i, i);
+        }
+        Ok(z)
+    }
+
+    /// Log determinant of the original matrix, `2 Σ ln L_ii`.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim())
+            .map(|i| self.factor.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+
+    /// Reconstructs `A = L Lᵀ` (mainly useful for testing).
+    pub fn reconstruct(&self) -> Matrix {
+        self.factor
+            .matmul(&self.factor.transpose())
+            .expect("factor dimensions are consistent by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 12.0, -16.0],
+            vec![12.0, 37.0, -43.0],
+            vec![-16.0, -43.0, 98.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn decomposes_known_spd_matrix() {
+        // Classic example with exact factor [[2,0,0],[6,1,0],[-8,5,3]].
+        let chol = Cholesky::decompose(&spd_example()).unwrap();
+        let l = chol.factor();
+        assert!((l.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((l.get(1, 0) - 6.0).abs() < 1e-12);
+        assert!((l.get(1, 1) - 1.0).abs() < 1e-12);
+        assert!((l.get(2, 0) + 8.0).abs() < 1e-12);
+        assert!((l.get(2, 1) - 5.0).abs() < 1e-12);
+        assert!((l.get(2, 2) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_satisfies_original_system() {
+        let a = spd_example();
+        let chol = Cholesky::decompose(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = chol.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (bi, yi) in b.iter().zip(&back) {
+            assert!((bi - yi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_determinant_matches_direct_product() {
+        let chol = Cholesky::decompose(&spd_example()).unwrap();
+        // det = (2*1*3)^2 = 36.
+        assert!((chol.log_determinant() - 36.0f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        let not_pd = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert_eq!(
+            Cholesky::decompose(&not_pd).unwrap_err(),
+            StatsError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::decompose(&rect),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_substitution_consistent_with_solve() {
+        let a = spd_example();
+        let chol = Cholesky::decompose(&a).unwrap();
+        let b = vec![0.5, -1.0, 2.0];
+        let z = chol.forward_substitute(&b).unwrap();
+        // ||z||^2 should equal bᵀ A⁻¹ b.
+        let x = chol.solve(&b).unwrap();
+        let quad: f64 = b.iter().zip(&x).map(|(bi, xi)| bi * xi).sum();
+        let norm: f64 = z.iter().map(|v| v * v).sum();
+        assert!((quad - norm).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn reconstruction_roundtrips_random_spd(values in proptest::collection::vec(-2.0f64..2.0, 9)) {
+            // Build SPD matrix as B Bᵀ + n I from a random 3x3 B.
+            let b = Matrix::from_rows(&[
+                values[0..3].to_vec(),
+                values[3..6].to_vec(),
+                values[6..9].to_vec(),
+            ]).unwrap();
+            let mut a = b.matmul(&b.transpose()).unwrap();
+            a.add_diagonal(3.0);
+            let chol = Cholesky::decompose(&a).unwrap();
+            let back = chol.reconstruct();
+            for i in 0..3 {
+                for j in 0..3 {
+                    prop_assert!((a.get(i, j) - back.get(i, j)).abs() < 1e-8);
+                }
+            }
+        }
+    }
+}

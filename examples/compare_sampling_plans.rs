@@ -1,0 +1,67 @@
+//! Compare the paper's three sampling plans on one kernel.
+//!
+//! Reproduces, for a single benchmark, the comparison behind Table 1 and
+//! Figure 6: the fixed 35-observation baseline, the single-observation plan,
+//! and the paper's variable-observation (sequential analysis) plan, all
+//! driven by the same ALC active learner over dynamic trees.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example compare_sampling_plans [kernel]
+//! ```
+
+use alic::core::experiment::{compare_plans, ComparisonConfig};
+use alic::core::prelude::*;
+use alic::sim::spapt::{spapt_kernel, SpaptKernel};
+
+fn main() -> Result<(), CoreError> {
+    let kernel_name = std::env::args().nth(1).unwrap_or_else(|| "jacobi".to_string());
+    let kernel = SpaptKernel::from_name(&kernel_name).unwrap_or(SpaptKernel::Jacobi);
+    let spec = spapt_kernel(kernel);
+    println!("comparing sampling plans on {}\n", spec.name());
+
+    let config = ComparisonConfig {
+        repetitions: 3,
+        ..ComparisonConfig::laptop_scale()
+    };
+    let outcome = compare_plans(&spec, &config)?;
+
+    println!("plan                     mean cost (s)  best RMSE (s)  obs/example");
+    println!("--------------------------------------------------------------------");
+    for plan in &outcome.plans {
+        let mean_cost: f64 = plan
+            .runs
+            .iter()
+            .map(|r| r.ledger.total_seconds())
+            .sum::<f64>()
+            / plan.runs.len().max(1) as f64;
+        println!(
+            "{:<24} {:>12.1}  {:>12.4}  {:>10.2}",
+            plan.plan.label(),
+            mean_cost,
+            plan.averaged.best_rmse().unwrap_or(f64::NAN),
+            plan.mean_observations_per_example(),
+        );
+    }
+
+    if let Some(pair) = outcome.pairwise(
+        config.plans[0], // fixed baseline
+        *config.plans.last().expect("three plans configured"),
+    ) {
+        println!(
+            "\nlowest common RMSE between the baseline and the variable plan: {:.4} s",
+            pair.lowest_common_rmse
+        );
+        println!(
+            "cost to reach it: baseline {:?} s, variable {:?} s",
+            pair.cost_first.map(|c| c.round()),
+            pair.cost_second.map(|c| c.round())
+        );
+        match pair.speedup() {
+            Some(s) => println!("reduction of profiling cost: {s:.2}x"),
+            None => println!("one of the plans never reached the common error in the window"),
+        }
+    }
+    Ok(())
+}

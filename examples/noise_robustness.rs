@@ -1,0 +1,71 @@
+//! Noise-robustness study (the paper's proposed future work, §7).
+//!
+//! Artificially scales every noise source of a kernel and reports how the
+//! variable-observation learner copes: how many observations per example it
+//! chooses to take, and what model error it reaches for a fixed iteration
+//! budget. The expectation — and the motivation for sequential analysis — is
+//! that the learner spends more observations per example exactly when the
+//! noise grows, instead of failing silently like a single-observation plan.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example noise_robustness
+//! ```
+
+use alic::core::prelude::*;
+use alic::data::dataset::{Dataset, DatasetConfig};
+use alic::model::dynatree::{DynaTree, DynaTreeConfig};
+use alic::sim::profiler::SimulatedProfiler;
+use alic::sim::spapt::{spapt_kernel, SpaptKernel};
+
+fn main() -> Result<(), CoreError> {
+    let base = spapt_kernel(SpaptKernel::Jacobi);
+    println!("noise robustness on {} (variable-observation plan)\n", base.name());
+    println!("noise scale  distinct examples  obs/example  final RMSE (s)  cost (s)");
+    println!("-------------------------------------------------------------------------");
+
+    for factor in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let spec = base.clone().with_noise(base.noise().scaled(factor));
+        let mut profiler = SimulatedProfiler::new(spec, 21);
+        let dataset = Dataset::generate(
+            &mut profiler,
+            &DatasetConfig {
+                configurations: 500,
+                observations: 12,
+                seed: 3,
+            },
+        );
+        let split = dataset.split(380, 4);
+        let config = LearnerConfig {
+            initial_examples: 5,
+            initial_observations: 12,
+            candidates_per_iteration: 50,
+            max_iterations: 220,
+            evaluate_every: 55,
+            plan: SamplingPlan::sequential(12),
+            ..Default::default()
+        };
+        let mut model = DynaTree::new(DynaTreeConfig {
+            particles: 60,
+            seed: 5,
+            ..Default::default()
+        });
+        let run = ActiveLearner::new(config, &mut profiler).run(&mut model, &dataset, &split)?;
+        println!(
+            "{:>10.1}x  {:>17}  {:>11.2}  {:>14.4}  {:>8.1}",
+            factor,
+            run.distinct_examples(),
+            run.mean_observations_per_example(),
+            run.curve.final_rmse().unwrap_or(f64::NAN),
+            run.ledger.total_seconds(),
+        );
+    }
+    println!(
+        "\n(Watch the observations-per-example and final-RMSE columns: as the noise grows the \
+         sequential plan trades exploration for repeated measurements of the configurations the \
+         model is unsure about, and the achievable error degrades gracefully rather than \
+         collapsing the way a single-observation plan would.)"
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Quick start: build a runtime-prediction model for one simulated kernel
+//! with the paper's variable-observation active learner.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use alic::core::prelude::*;
+use alic::data::dataset::{Dataset, DatasetConfig};
+use alic::model::dynatree::{DynaTree, DynaTreeConfig};
+use alic::model::SurrogateModel;
+use alic::sim::profiler::SimulatedProfiler;
+use alic::sim::spapt::{spapt_kernel, SpaptKernel};
+
+fn main() -> Result<(), CoreError> {
+    // 1. A simulated SPAPT kernel. Swap in your own `Profiler` implementation
+    //    to drive a real compiler instead.
+    let kernel = spapt_kernel(SpaptKernel::Gemver);
+    println!(
+        "kernel: {} ({} tunable parameters, {:.2e} configurations)",
+        kernel.name(),
+        kernel.space().dimension(),
+        kernel.space().cardinality_f64()
+    );
+    let mut profiler = SimulatedProfiler::new(kernel, 42);
+
+    // 2. Profile a pool of random configurations and hold some out for
+    //    evaluating the model (the paper's 7,500 / 2,500 protocol, shrunk).
+    let dataset = Dataset::generate(
+        &mut profiler,
+        &DatasetConfig {
+            configurations: 600,
+            observations: 10,
+            seed: 1,
+        },
+    );
+    let split = dataset.split(450, 2);
+
+    // 3. Run Algorithm 1: seed with a few well-measured examples, then take
+    //    one observation at a time wherever the model expects to learn most.
+    let config = LearnerConfig {
+        initial_examples: 5,
+        initial_observations: 10,
+        candidates_per_iteration: 60,
+        max_iterations: 250,
+        evaluate_every: 25,
+        acquisition: Acquisition::default_alc(),
+        plan: SamplingPlan::sequential(10),
+        ..Default::default()
+    };
+    let mut model = DynaTree::new(DynaTreeConfig {
+        particles: 80,
+        seed: 3,
+        ..Default::default()
+    });
+    let run = ActiveLearner::new(config, &mut profiler).run(&mut model, &dataset, &split)?;
+
+    // 4. Inspect the outcome.
+    println!("\niteration  examples  observations  cost (s)  RMSE (s)");
+    for p in run.curve.points() {
+        println!(
+            "{:>9}  {:>8}  {:>12}  {:>8.1}  {:.4}",
+            p.iterations, p.training_examples, p.observations, p.cost_seconds, p.rmse
+        );
+    }
+    println!(
+        "\nvisited {} distinct configurations with {:.2} observations each on average",
+        run.distinct_examples(),
+        run.mean_observations_per_example()
+    );
+    println!(
+        "total profiling cost: {:.1} s (compilation {:.1} s, runs {:.1} s)",
+        run.ledger.total_seconds(),
+        run.ledger.compile_seconds(),
+        run.ledger.run_seconds()
+    );
+
+    // 5. Use the model: find the best configuration in the held-out set.
+    let best = split
+        .test_indices()
+        .iter()
+        .min_by(|&&a, &&b| {
+            let pa = model.predict(&dataset.features(a)).map(|p| p.mean).unwrap_or(f64::MAX);
+            let pb = model.predict(&dataset.features(b)).map(|p| p.mean).unwrap_or(f64::MAX);
+            pa.partial_cmp(&pb).expect("finite predictions")
+        })
+        .copied()
+        .expect("test set is non-empty");
+    println!(
+        "\npredicted-best held-out configuration: {} (measured mean {:.3} s)",
+        dataset.points()[best].configuration,
+        dataset.points()[best].mean_runtime
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! `alic` — **A**ctive **L**earning for **I**terative **C**ompilation.
+//!
+//! Umbrella crate for the workspace reproducing *"Minimizing the Cost of
+//! Iterative Compilation with Active Learning"* (Ogilvie, Petoumenos, Wang,
+//! Leather — CGO 2017). It re-exports the individual crates so applications
+//! can depend on a single package:
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`stats`] | `alic-stats` | summary statistics, confidence intervals, RMSE, normalization, linear algebra |
+//! | [`sim`] | `alic-sim` | the iterative-compilation simulator (SPAPT-like kernels, noise, costs) |
+//! | [`data`] | `alic-data` | dataset generation, train/test splits, serialization |
+//! | [`model`] | `alic-model` | dynamic trees, CART, Gaussian processes, baselines |
+//! | [`core`] | `alic-core` | the active-learning loop with sequential analysis (Algorithm 1) |
+//! | [`experiments`] | `alic-experiments` | the harness regenerating every table and figure |
+//!
+//! # Quick start
+//!
+//! ```
+//! use alic::core::prelude::*;
+//! use alic::data::dataset::{Dataset, DatasetConfig};
+//! use alic::model::dynatree::{DynaTree, DynaTreeConfig};
+//! use alic::sim::profiler::SimulatedProfiler;
+//! use alic::sim::spapt::{spapt_kernel, SpaptKernel};
+//!
+//! // 1. A simulated kernel to tune.
+//! let mut profiler = SimulatedProfiler::new(spapt_kernel(SpaptKernel::Mvt), 7);
+//!
+//! // 2. A profiled dataset with a training pool and a held-out test set.
+//! let dataset = Dataset::generate(
+//!     &mut profiler,
+//!     &DatasetConfig { configurations: 200, observations: 5, seed: 1 },
+//! );
+//! let split = dataset.split(150, 2);
+//!
+//! // 3. The paper's variable-observation active learner over a dynamic tree.
+//! let config = LearnerConfig {
+//!     initial_examples: 5,
+//!     initial_observations: 5,
+//!     candidates_per_iteration: 25,
+//!     max_iterations: 40,
+//!     evaluate_every: 10,
+//!     plan: SamplingPlan::sequential(5),
+//!     ..Default::default()
+//! };
+//! let mut model = DynaTree::new(DynaTreeConfig { particles: 40, seed: 3, ..Default::default() });
+//! let run = ActiveLearner::new(config, &mut profiler).run(&mut model, &dataset, &split)?;
+//! println!("final RMSE: {:.4} s after {:.1} s of profiling",
+//!          run.curve.final_rmse().unwrap(), run.ledger.total_seconds());
+//! # Ok::<(), alic::core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use alic_core as core;
+pub use alic_data as data;
+pub use alic_experiments as experiments;
+pub use alic_model as model;
+pub use alic_sim as sim;
+pub use alic_stats as stats;

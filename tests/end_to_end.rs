@@ -1,0 +1,225 @@
+//! End-to-end integration tests spanning the whole workspace: simulator →
+//! dataset → dynamic-tree model → active learner → evaluation.
+
+use alic::core::prelude::*;
+use alic::data::dataset::{Dataset, DatasetConfig};
+use alic::model::dynatree::{DynaTree, DynaTreeConfig};
+use alic::model::SurrogateModel;
+use alic::sim::noise::NoiseProfile;
+use alic::sim::profiler::{Profiler, SimulatedProfiler};
+use alic::sim::space::ParamSpec;
+use alic::sim::spapt::{spapt_kernel, SpaptKernel};
+use alic::sim::KernelSpec;
+
+fn toy_kernel(noise: NoiseProfile) -> KernelSpec {
+    KernelSpec::new(
+        "integration",
+        vec![
+            ParamSpec::unroll("u1"),
+            ParamSpec::unroll("u2"),
+            ParamSpec::cache_tile("t1"),
+        ],
+        1.0,
+        0.5,
+        noise,
+    )
+    .expect("non-empty parameter list")
+    .with_surface_seed(31)
+}
+
+fn learner_config(plan: SamplingPlan, max_iterations: usize) -> LearnerConfig {
+    LearnerConfig {
+        initial_examples: 5,
+        initial_observations: 8,
+        candidates_per_iteration: 40,
+        max_iterations,
+        evaluate_every: 20,
+        acquisition: Acquisition::Alc { reference_size: 30 },
+        plan,
+        criteria: CompletionCriteria::none(),
+        seed: 17,
+    }
+}
+
+fn run_plan(
+    spec: &KernelSpec,
+    plan: SamplingPlan,
+    max_iterations: usize,
+    seed: u64,
+) -> (LearnerRun, Dataset) {
+    let mut dataset_profiler = SimulatedProfiler::new(spec.clone(), 1);
+    let dataset = Dataset::generate(
+        &mut dataset_profiler,
+        &DatasetConfig {
+            configurations: 400,
+            observations: 8,
+            seed: 2,
+        },
+    );
+    let split = dataset.split(300, 3);
+    let mut profiler = SimulatedProfiler::new(spec.clone(), seed);
+    let mut model = DynaTree::new(DynaTreeConfig {
+        particles: 50,
+        seed,
+        ..Default::default()
+    });
+    let run = ActiveLearner::new(learner_config(plan, max_iterations), &mut profiler)
+        .run(&mut model, &dataset, &split)
+        .expect("learner runs to completion");
+    (run, dataset)
+}
+
+#[test]
+fn active_learning_beats_the_constant_baseline() {
+    // The learned model must clearly beat a "predict the global mean"
+    // baseline on the held-out set.
+    let spec = toy_kernel(NoiseProfile::quiet());
+    let (run, dataset) = run_plan(&spec, SamplingPlan::sequential(8), 200, 9);
+    let final_rmse = run.curve.final_rmse().expect("curve has points");
+
+    let runtimes: Vec<f64> = dataset.points().iter().map(|p| p.mean_runtime).collect();
+    let global_mean = runtimes.iter().sum::<f64>() / runtimes.len() as f64;
+    let baseline_rmse = (runtimes
+        .iter()
+        .map(|y| (y - global_mean) * (y - global_mean))
+        .sum::<f64>()
+        / runtimes.len() as f64)
+        .sqrt();
+
+    assert!(
+        final_rmse < 0.8 * baseline_rmse,
+        "learned model (RMSE {final_rmse:.4}) should beat the constant baseline ({baseline_rmse:.4})"
+    );
+}
+
+#[test]
+fn sequential_plan_reaches_the_common_error_cheaper_than_fixed() {
+    // The headline claim at integration scale: for the same iteration budget,
+    // the sequential plan spends far less profiling cost than the fixed plan
+    // while reaching a comparable error.
+    let spec = toy_kernel(NoiseProfile::moderate());
+    let (fixed, _) = run_plan(&spec, SamplingPlan::fixed(8), 150, 11);
+    let (sequential, _) = run_plan(&spec, SamplingPlan::sequential(8), 150, 11);
+
+    let fixed_cost = fixed.ledger.total_seconds();
+    let sequential_cost = sequential.ledger.total_seconds();
+    assert!(
+        sequential_cost < 0.5 * fixed_cost,
+        "sequential cost {sequential_cost:.1} should be well below fixed cost {fixed_cost:.1}"
+    );
+
+    let fixed_best = fixed.curve.best_rmse().unwrap();
+    let sequential_best = sequential.curve.best_rmse().unwrap();
+    assert!(
+        sequential_best < 2.5 * fixed_best,
+        "sequential error {sequential_best:.4} should stay comparable to fixed error {fixed_best:.4}"
+    );
+}
+
+#[test]
+fn sequential_plan_degrades_gracefully_under_heavy_noise() {
+    let quiet_spec = toy_kernel(NoiseProfile::quiet());
+    let noisy_spec = toy_kernel(NoiseProfile {
+        sigma_quiet: 0.02,
+        sigma_loud: 0.3,
+        pocket_fraction: 0.1,
+        pocket_multiplier: 4.0,
+        outlier_probability: 0.05,
+        outlier_scale: 0.2,
+        layout_jitter: 0.01,
+    });
+    let (quiet_run, _) = run_plan(&quiet_spec, SamplingPlan::sequential(8), 150, 13);
+    let (noisy_run, _) = run_plan(&noisy_spec, SamplingPlan::sequential(8), 150, 13);
+    // Both runs must stay numerically healthy, respect the per-example
+    // observation cap, and heavy noise must degrade (never improve) the
+    // achievable error relative to the quiet kernel.
+    for run in [&quiet_run, &noisy_run] {
+        assert!(run.curve.final_rmse().unwrap().is_finite());
+        assert!(run
+            .visited
+            .iter()
+            .all(|r| r.runtimes.count() <= 8usize.max(run.plan.max_observations())));
+    }
+    assert!(
+        noisy_run.curve.best_rmse().unwrap() > quiet_run.curve.best_rmse().unwrap(),
+        "heavy measurement noise should leave a larger residual error ({:.4} vs {:.4})",
+        noisy_run.curve.best_rmse().unwrap(),
+        quiet_run.curve.best_rmse().unwrap()
+    );
+}
+
+#[test]
+fn spapt_kernel_end_to_end_smoke() {
+    // Full pipeline on a real (simulated) SPAPT kernel.
+    let spec = spapt_kernel(SpaptKernel::Mvt);
+    let (run, _) = run_plan(&spec, SamplingPlan::sequential(8), 100, 5);
+    assert!(run.curve.final_rmse().unwrap().is_finite());
+    assert!(run.ledger.runs() > 100);
+    assert!(run.distinct_examples() >= 5);
+}
+
+#[test]
+fn profiler_costs_match_the_ledger() {
+    // The ledger must account for exactly the cost the profiler charged.
+    let spec = toy_kernel(NoiseProfile::quiet());
+    let mut dataset_profiler = SimulatedProfiler::new(spec.clone(), 1);
+    let dataset = Dataset::generate(
+        &mut dataset_profiler,
+        &DatasetConfig {
+            configurations: 200,
+            observations: 4,
+            seed: 2,
+        },
+    );
+    let split = dataset.split(150, 3);
+    let mut profiler = SimulatedProfiler::new(spec, 7);
+    let mut model = DynaTree::new(DynaTreeConfig {
+        particles: 30,
+        seed: 7,
+        ..Default::default()
+    });
+    let run = ActiveLearner::new(
+        learner_config(SamplingPlan::sequential(6), 60),
+        &mut profiler,
+    )
+    .run(&mut model, &dataset, &split)
+    .unwrap();
+    assert!((run.ledger.total_seconds() - profiler.total_cost()).abs() < 1e-9);
+    assert_eq!(run.ledger.runs(), profiler.runs());
+}
+
+#[test]
+fn model_predictions_vary_across_the_space_after_learning() {
+    let spec = toy_kernel(NoiseProfile::quiet());
+    let mut dataset_profiler = SimulatedProfiler::new(spec.clone(), 1);
+    let dataset = Dataset::generate(
+        &mut dataset_profiler,
+        &DatasetConfig {
+            configurations: 300,
+            observations: 6,
+            seed: 2,
+        },
+    );
+    let split = dataset.split(220, 3);
+    let mut profiler = SimulatedProfiler::new(spec, 23);
+    let mut model = DynaTree::new(DynaTreeConfig {
+        particles: 50,
+        seed: 23,
+        ..Default::default()
+    });
+    ActiveLearner::new(learner_config(SamplingPlan::sequential(8), 150), &mut profiler)
+        .run(&mut model, &dataset, &split)
+        .unwrap();
+    let predictions: Vec<f64> = split
+        .test_indices()
+        .iter()
+        .map(|&i| model.predict(&dataset.features(i)).unwrap().mean)
+        .collect();
+    let min = predictions.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = predictions.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        max - min > 0.05,
+        "a useful model must differentiate configurations (spread {:.4})",
+        max - min
+    );
+}
