@@ -37,7 +37,11 @@ fn bench_alc_scoring(c: &mut Criterion) {
             BenchmarkId::from_parameter(n_candidates),
             &candidates,
             |b, candidates| {
-                b.iter(|| model.alc_scores(black_box(candidates), black_box(&reference)).unwrap())
+                b.iter(|| {
+                    model
+                        .alc_scores(black_box(candidates), black_box(&reference))
+                        .unwrap()
+                })
             },
         );
     }

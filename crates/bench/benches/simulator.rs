@@ -40,22 +40,31 @@ fn bench_dataset_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("dataset_generate");
     group.sample_size(10);
     for &configs in &[100usize, 500] {
-        group.bench_with_input(BenchmarkId::from_parameter(configs), &configs, |b, &configs| {
-            b.iter(|| {
-                let mut profiler = bench_profiler(3);
-                Dataset::generate(
-                    &mut profiler,
-                    &DatasetConfig {
-                        configurations: configs,
-                        observations: 5,
-                        seed: 1,
-                    },
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(configs),
+            &configs,
+            |b, &configs| {
+                b.iter(|| {
+                    let mut profiler = bench_profiler(3);
+                    Dataset::generate(
+                        &mut profiler,
+                        &DatasetConfig {
+                            configurations: configs,
+                            observations: 5,
+                            seed: 1,
+                        },
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_measure, bench_surface, bench_dataset_generation);
+criterion_group!(
+    benches,
+    bench_measure,
+    bench_surface,
+    bench_dataset_generation
+);
 criterion_main!(benches);

@@ -157,7 +157,7 @@ pub fn common_cost_grid(curve_sets: &[&[LearningCurve]], resolution: usize) -> O
             end = end.min(last);
         }
     }
-    if !(end > start) || resolution < 2 {
+    if end.partial_cmp(&start) != Some(std::cmp::Ordering::Greater) || resolution < 2 {
         return None;
     }
     let step = (end - start) / (resolution - 1) as f64;
@@ -182,7 +182,11 @@ pub fn average_curves(curves: &[LearningCurve], grid: &[f64]) -> AveragedCurve {
             total += rmse;
             count += 1;
         }
-        mean_rmse.push(if count == 0 { f64::NAN } else { total / count as f64 });
+        mean_rmse.push(if count == 0 {
+            f64::NAN
+        } else {
+            total / count as f64
+        });
     }
     AveragedCurve {
         costs: grid.to_vec(),
@@ -253,7 +257,10 @@ mod tests {
 
     #[test]
     fn averaging_two_identical_curves_is_identity() {
-        let runs = vec![curve(&[(1.0, 0.4), (2.0, 0.2)]), curve(&[(1.0, 0.4), (2.0, 0.2)])];
+        let runs = vec![
+            curve(&[(1.0, 0.4), (2.0, 0.2)]),
+            curve(&[(1.0, 0.4), (2.0, 0.2)]),
+        ];
         let averaged = average_curves(&runs, &[1.0, 1.5, 2.0]);
         assert_eq!(averaged.mean_rmse, vec![0.4, 0.4, 0.2]);
         assert_eq!(averaged.best_rmse(), Some(0.2));
@@ -262,7 +269,10 @@ mod tests {
 
     #[test]
     fn averaging_mixes_runs_pointwise() {
-        let runs = vec![curve(&[(1.0, 0.4), (3.0, 0.2)]), curve(&[(1.0, 0.8), (2.0, 0.6)])];
+        let runs = vec![
+            curve(&[(1.0, 0.4), (3.0, 0.2)]),
+            curve(&[(1.0, 0.8), (2.0, 0.6)]),
+        ];
         let averaged = average_curves(&runs, &[1.0, 2.5]);
         assert!((averaged.mean_rmse[0] - 0.6).abs() < 1e-12);
         assert!((averaged.mean_rmse[1] - 0.5).abs() < 1e-12);

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use alic_data::dataset::{Dataset, DatasetConfig};
 use alic_data::split::TrainTestSplit;
-use alic_model::dynatree::{DynaTree, DynaTreeConfig};
+use alic_model::SurrogateSpec;
 use alic_sim::kernel::KernelSpec;
 use alic_sim::profiler::SimulatedProfiler;
 use alic_stats::rng::derive_seed;
@@ -33,8 +33,10 @@ pub struct ComparisonConfig {
     pub plans: Vec<SamplingPlan>,
     /// Number of seeded repetitions per plan (the paper uses 10).
     pub repetitions: usize,
-    /// Dynamic-tree configuration used for every run.
-    pub model: DynaTreeConfig,
+    /// Surrogate-model specification used for every run. Any family of
+    /// [`SurrogateSpec`] can be compared; the paper's protocol uses the
+    /// dynamic tree.
+    pub model: SurrogateSpec,
     /// Dataset-generation protocol (§4.5).
     pub dataset: DatasetConfig,
     /// Number of dataset points reserved for training (the rest is test).
@@ -55,7 +57,7 @@ impl Default for ComparisonConfig {
                 SamplingPlan::sequential(35),
             ],
             repetitions: 10,
-            model: DynaTreeConfig::default(),
+            model: SurrogateSpec::default(),
             dataset: DatasetConfig::default(),
             train_size: 7_500,
             grid_resolution: 200,
@@ -66,9 +68,9 @@ impl Default for ComparisonConfig {
 
 impl ComparisonConfig {
     /// A scaled-down configuration that preserves the experimental structure
-    /// (three plans, seeded repetitions, ALC acquisition, dynamic trees) but
-    /// runs in seconds on a laptop instead of days on a cluster. Used by the
-    /// experiment harness and the examples.
+    /// (three plans, seeded repetitions, ALC acquisition) but runs in seconds
+    /// on a laptop instead of days on a cluster. Used by the experiment
+    /// harness and the examples.
     pub fn laptop_scale() -> Self {
         ComparisonConfig {
             learner: LearnerConfig {
@@ -80,10 +82,7 @@ impl ComparisonConfig {
                 ..Default::default()
             },
             repetitions: 4,
-            model: DynaTreeConfig {
-                particles: 60,
-                ..Default::default()
-            },
+            model: SurrogateSpec::dynatree(60),
             dataset: DatasetConfig {
                 configurations: 700,
                 observations: 15,
@@ -94,6 +93,13 @@ impl ComparisonConfig {
             seed: 0,
             ..Default::default()
         }
+    }
+
+    /// Returns the same configuration with a different surrogate model.
+    #[must_use]
+    pub fn with_model(mut self, model: SurrogateSpec) -> Self {
+        self.model = model;
+        self
     }
 }
 
@@ -168,7 +174,11 @@ impl ComparisonOutcome {
     /// both reach and the cost each needed to first reach it. This mirrors
     /// the paper's Table 1, which compares the 35-observation baseline with
     /// the variable plan in isolation from the one-observation plan.
-    pub fn pairwise(&self, first: SamplingPlan, second: SamplingPlan) -> Option<PairwiseComparison> {
+    pub fn pairwise(
+        &self,
+        first: SamplingPlan,
+        second: SamplingPlan,
+    ) -> Option<PairwiseComparison> {
         let a = self.plan_result(first)?;
         let b = self.plan_result(second)?;
         let lowest_common_rmse = a.averaged.best_rmse()?.max(b.averaged.best_rmse()?);
@@ -206,17 +216,26 @@ pub fn compare_plans(spec: &KernelSpec, config: &ComparisonConfig) -> Result<Com
     let train_size = config.train_size.min(dataset.len().saturating_sub(1));
     let split = dataset.split(train_size, derive_seed(config.seed, 2));
 
+    // One job per (plan, repetition) pair, flattened so that the worker
+    // threads stay busy across plan boundaries (a cheap plan never leaves the
+    // pool idle while an expensive one finishes). Each job derives its own
+    // seeds, so results are deterministic and independent of the thread
+    // count.
+    let jobs: Vec<(SamplingPlan, u64)> = config
+        .plans
+        .iter()
+        .flat_map(|&plan| (0..config.repetitions as u64).map(move |rep| (plan, rep)))
+        .collect();
+    let all_runs: Vec<LearnerRun> = jobs
+        .into_par_iter()
+        .map(|(plan, rep)| run_single(spec, config, &dataset, &split, plan, rep))
+        .collect::<Result<_>>()?;
+    let mut runs_iter = all_runs.into_iter();
     let plan_runs: Vec<(SamplingPlan, Vec<LearnerRun>)> = config
         .plans
         .iter()
-        .map(|&plan| {
-            let runs: Result<Vec<LearnerRun>> = (0..config.repetitions)
-                .into_par_iter()
-                .map(|rep| run_single(spec, config, &dataset, &split, plan, rep as u64))
-                .collect();
-            runs.map(|r| (plan, r))
-        })
-        .collect::<Result<_>>()?;
+        .map(|&plan| (plan, runs_iter.by_ref().take(config.repetitions).collect()))
+        .collect();
 
     // Average every plan's curves on the cost range where all plans overlap.
     let curve_sets: Vec<Vec<LearningCurve>> = plan_runs
@@ -280,12 +299,9 @@ fn run_single(
         seed: derive_seed(seed, 4),
         ..config.learner
     };
-    let mut model = DynaTree::new(DynaTreeConfig {
-        seed: derive_seed(seed, 5),
-        ..config.model
-    });
+    let mut model = config.model.build(derive_seed(seed, 5));
     let mut learner = ActiveLearner::new(learner_config, &mut profiler);
-    learner.run(&mut model, dataset, split)
+    learner.run(model.as_mut(), dataset, split)
 }
 
 #[cfg(test)]
@@ -310,10 +326,7 @@ mod tests {
                 SamplingPlan::sequential(6),
             ],
             repetitions: 2,
-            model: DynaTreeConfig {
-                particles: 30,
-                ..Default::default()
-            },
+            model: SurrogateSpec::dynatree(30),
             dataset: DatasetConfig {
                 configurations: 250,
                 observations: 6,
@@ -328,7 +341,11 @@ mod tests {
     fn toy_kernel(noise: NoiseProfile) -> KernelSpec {
         KernelSpec::new(
             "toy",
-            vec![ParamSpec::unroll("u1"), ParamSpec::unroll("u2"), ParamSpec::unroll("u3")],
+            vec![
+                ParamSpec::unroll("u1"),
+                ParamSpec::unroll("u2"),
+                ParamSpec::unroll("u3"),
+            ],
             1.0,
             0.5,
             noise,
@@ -356,14 +373,16 @@ mod tests {
         let fixed = outcome.plan_result(SamplingPlan::fixed(6)).unwrap();
         let sequential = outcome.plan_result(SamplingPlan::sequential(6)).unwrap();
         let fixed_cost: f64 = fixed.runs.iter().map(|r| r.ledger.total_seconds()).sum();
-        let seq_cost: f64 = sequential.runs.iter().map(|r| r.ledger.total_seconds()).sum();
+        let seq_cost: f64 = sequential
+            .runs
+            .iter()
+            .map(|r| r.ledger.total_seconds())
+            .sum();
         assert!(
             seq_cost < fixed_cost,
             "sequential total {seq_cost} should be below fixed total {fixed_cost}"
         );
-        assert!(
-            sequential.mean_observations_per_example() < fixed.mean_observations_per_example()
-        );
+        assert!(sequential.mean_observations_per_example() < fixed.mean_observations_per_example());
     }
 
     #[test]
@@ -385,5 +404,45 @@ mod tests {
         let b = compare_plans(&kernel, &tiny_config()).unwrap();
         assert_eq!(a.lowest_common_rmse, b.lowest_common_rmse);
         assert_eq!(a.cost_to_common_rmse, b.cost_to_common_rmse);
+    }
+
+    #[test]
+    fn outcome_is_independent_of_the_thread_count() {
+        // The (plan × repetition) jobs each derive their own seeds and are
+        // written back by job index, so a single-threaded run must produce
+        // bit-identical results to the default parallel run.
+        //
+        // The shim's programmatic override is used rather than the
+        // RAYON_NUM_THREADS env var: setenv while sibling tests' worker
+        // threads call getenv is undefined behavior on glibc. The override is
+        // process-global, which is harmless here because every test in this
+        // binary is deterministic by design.
+        let kernel = toy_kernel(NoiseProfile::moderate());
+        let parallel = compare_plans(&kernel, &tiny_config()).unwrap();
+        rayon::set_num_threads(1);
+        let serial = compare_plans(&kernel, &tiny_config()).unwrap();
+        rayon::set_num_threads(0);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn comparison_runs_with_every_surrogate_family() {
+        let kernel = toy_kernel(NoiseProfile::quiet());
+        let mut config = tiny_config();
+        config.repetitions = 1;
+        config.learner.max_iterations = 15;
+        for model in SurrogateSpec::all() {
+            let outcome = compare_plans(&kernel, &config.clone().with_model(model))
+                .unwrap_or_else(|e| panic!("{model}: comparison failed: {e}"));
+            assert_eq!(outcome.plans.len(), 3, "{model}: missing plan results");
+            for plan in &outcome.plans {
+                assert!(
+                    plan.runs
+                        .iter()
+                        .all(|r| r.curve.final_rmse().is_some_and(f64::is_finite)),
+                    "{model}: non-finite learning curve"
+                );
+            }
+        }
     }
 }

@@ -146,11 +146,15 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
     /// pool defined by `dataset` and `split`, evaluating on the split's test
     /// points.
     ///
+    /// The model is only accessed through [`ActiveSurrogate`], so both
+    /// concrete models and `dyn ActiveSurrogate` trait objects built from a
+    /// [`SurrogateSpec`](alic_model::SurrogateSpec) work.
+    ///
     /// # Errors
     ///
     /// Returns an error when the configuration is inconsistent with the pool
     /// size or when the surrogate model fails.
-    pub fn run<M: ActiveSurrogate>(
+    pub fn run<M: ActiveSurrogate + ?Sized>(
         &mut self,
         model: &mut M,
         dataset: &Dataset,
@@ -227,8 +231,7 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
         }
         model.fit(&seed_xs, &seed_ys)?;
 
-        let mut latest_rmse =
-            evaluate_rmse(model, &test_features, &test_targets).map_err(CoreError::from)?;
+        let mut latest_rmse = evaluate_rmse(model, &test_features, &test_targets)?;
         curve.push(CurvePoint {
             iterations: 0,
             training_examples: visited.len(),
@@ -311,9 +314,10 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
             }
 
             iterations += 1;
-            if iterations % config.evaluate_every == 0 || iterations == config.max_iterations {
-                latest_rmse =
-                    evaluate_rmse(model, &test_features, &test_targets).map_err(CoreError::from)?;
+            if iterations.is_multiple_of(config.evaluate_every)
+                || iterations == config.max_iterations
+            {
+                latest_rmse = evaluate_rmse(model, &test_features, &test_targets)?;
                 curve.push(CurvePoint {
                     iterations,
                     training_examples: visited.len(),

@@ -73,6 +73,7 @@ pub mod prelude {
     pub use crate::ledger::CostLedger;
     pub use crate::plan::SamplingPlan;
     pub use crate::CoreError;
+    pub use alic_model::SurrogateSpec;
 }
 
 pub use acquisition::Acquisition;
@@ -107,7 +108,10 @@ impl std::fmt::Display for CoreError {
             CoreError::Stats(e) => write!(f, "statistics error: {e}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid learner configuration: {msg}"),
             CoreError::InsufficientData { needed, available } => {
-                write!(f, "needed {needed} items but only {available} are available")
+                write!(
+                    f,
+                    "needed {needed} items but only {available} are available"
+                )
             }
         }
     }

@@ -48,7 +48,10 @@ impl SamplingPlan {
     ///
     /// Panics if `observations` is zero.
     pub fn fixed(observations: usize) -> Self {
-        assert!(observations > 0, "a sampling plan needs at least one observation");
+        assert!(
+            observations > 0,
+            "a sampling plan needs at least one observation"
+        );
         SamplingPlan::Fixed { observations }
     }
 
@@ -134,7 +137,10 @@ mod tests {
     #[test]
     fn labels_match_figure_legends() {
         assert_eq!(SamplingPlan::fixed35().label(), "35 observations");
-        assert_eq!(format!("{}", SamplingPlan::sequential(10)), "variable observations");
+        assert_eq!(
+            format!("{}", SamplingPlan::sequential(10)),
+            "variable observations"
+        );
     }
 
     #[test]

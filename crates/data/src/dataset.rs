@@ -177,9 +177,11 @@ impl Dataset {
 
     /// The point with the lowest mean runtime (the tuning goal).
     pub fn best_point(&self) -> Option<&DataPoint> {
-        self.points
-            .iter()
-            .min_by(|a, b| a.mean_runtime.partial_cmp(&b.mean_runtime).expect("finite runtimes"))
+        self.points.iter().min_by(|a, b| {
+            a.mean_runtime
+                .partial_cmp(&b.mean_runtime)
+                .expect("finite runtimes")
+        })
     }
 
     /// Draws `count` indices uniformly at random (with `seed`), useful for
@@ -229,8 +231,11 @@ mod tests {
     fn generates_the_requested_number_of_distinct_points() {
         let dataset = small_dataset();
         assert_eq!(dataset.len(), 120);
-        let unique: std::collections::HashSet<_> =
-            dataset.points().iter().map(|p| p.configuration.clone()).collect();
+        let unique: std::collections::HashSet<_> = dataset
+            .points()
+            .iter()
+            .map(|p| p.configuration.clone())
+            .collect();
         assert_eq!(unique.len(), 120);
         assert_eq!(dataset.kernel(), "toy");
     }

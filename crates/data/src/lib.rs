@@ -42,7 +42,13 @@ pub enum DataError {
     /// An I/O operation failed while reading or writing a dataset.
     Io(std::io::Error),
     /// A dataset file could not be parsed.
-    Parse(serde_json::Error),
+    Parse(String),
+    /// A dataset cannot be serialized because a field holds a non-finite
+    /// number (JSON has no representation for NaN or infinities).
+    NonFinite {
+        /// Name of the offending [`DataPoint`] field.
+        field: &'static str,
+    },
     /// A split request was inconsistent with the dataset size.
     InvalidSplit {
         /// Requested training-set size.
@@ -57,7 +63,16 @@ impl std::fmt::Display for DataError {
         match self {
             DataError::Io(e) => write!(f, "dataset I/O failed: {e}"),
             DataError::Parse(e) => write!(f, "dataset parse failed: {e}"),
-            DataError::InvalidSplit { requested, available } => write!(
+            DataError::NonFinite { field } => {
+                write!(
+                    f,
+                    "dataset serialization failed: non-finite value in '{field}'"
+                )
+            }
+            DataError::InvalidSplit {
+                requested,
+                available,
+            } => write!(
                 f,
                 "cannot reserve {requested} training points from a dataset of {available}"
             ),
@@ -69,8 +84,7 @@ impl std::error::Error for DataError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DataError::Io(e) => Some(e),
-            DataError::Parse(e) => Some(e),
-            DataError::InvalidSplit { .. } => None,
+            _ => None,
         }
     }
 }
@@ -78,12 +92,6 @@ impl std::error::Error for DataError {
 impl From<std::io::Error> for DataError {
     fn from(e: std::io::Error) -> Self {
         DataError::Io(e)
-    }
-}
-
-impl From<serde_json::Error> for DataError {
-    fn from(e: serde_json::Error) -> Self {
-        DataError::Parse(e)
     }
 }
 

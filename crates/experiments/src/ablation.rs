@@ -32,9 +32,12 @@ pub struct AcquisitionResult {
     pub mean_cost: f64,
 }
 
-/// Runs the acquisition ablation on one kernel.
-pub fn acquisition_ablation(kernel: SpaptKernel, scale: Scale) -> Vec<AcquisitionResult> {
-    let base = scale.comparison_config();
+/// Runs the acquisition ablation on one kernel with an explicit base
+/// configuration (any scale, any surrogate family).
+pub fn acquisition_ablation_with(
+    kernel: SpaptKernel,
+    base: &ComparisonConfig,
+) -> Vec<AcquisitionResult> {
     [
         Acquisition::default_alc(),
         Acquisition::Alm,
@@ -68,6 +71,12 @@ pub fn acquisition_ablation(kernel: SpaptKernel, scale: Scale) -> Vec<Acquisitio
     .collect()
 }
 
+/// Runs the acquisition ablation on one kernel at a given scale with the
+/// default surrogate.
+pub fn acquisition_ablation(kernel: SpaptKernel, scale: Scale) -> Vec<AcquisitionResult> {
+    acquisition_ablation_with(kernel, &scale.comparison_config())
+}
+
 /// Result of the noise-robustness ablation for one noise scale.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NoiseResult {
@@ -79,17 +88,21 @@ pub struct NoiseResult {
     pub speedup: Option<f64>,
 }
 
-/// Runs the noise-robustness ablation on one kernel.
-pub fn noise_ablation(kernel: SpaptKernel, scales: &[f64], scale: Scale) -> Vec<NoiseResult> {
-    let config = scale.comparison_config();
+/// Runs the noise-robustness ablation on one kernel with an explicit base
+/// configuration.
+pub fn noise_ablation_with(
+    kernel: SpaptKernel,
+    scales: &[f64],
+    config: &ComparisonConfig,
+) -> Vec<NoiseResult> {
     scales
         .iter()
         .map(|&factor| {
             let spec = spapt_kernel(kernel);
             let noisy = spec.noise().scaled(factor);
             let spec = spec.with_noise(noisy);
-            let outcome =
-                compare_plans(&spec, &config).expect("ablation configuration is internally consistent");
+            let outcome = compare_plans(&spec, config)
+                .expect("ablation configuration is internally consistent");
             let baseline = config
                 .plans
                 .iter()
@@ -109,6 +122,12 @@ pub fn noise_ablation(kernel: SpaptKernel, scales: &[f64], scale: Scale) -> Vec<
             }
         })
         .collect()
+}
+
+/// Runs the noise-robustness ablation on one kernel at a given scale with
+/// the default surrogate.
+pub fn noise_ablation(kernel: SpaptKernel, scales: &[f64], scale: Scale) -> Vec<NoiseResult> {
+    noise_ablation_with(kernel, scales, &scale.comparison_config())
 }
 
 #[cfg(test)]

@@ -3,18 +3,23 @@
 
 use alic_experiments::ablation;
 use alic_experiments::report::{emit, format_sci, TextTable};
-use alic_experiments::Scale;
+use alic_experiments::RunOptions;
 use alic_sim::spapt::SpaptKernel;
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Ablations ({scale} scale) ==\n");
+    let options = RunOptions::from_args();
+    let config = options.comparison_config();
+    println!("== Ablations ({}) ==\n", options.describe());
 
     // Acquisition-function ablation on a quiet and a noisy kernel.
-    let mut acquisition_table =
-        TextTable::new(vec!["benchmark", "acquisition", "best RMSE (s)", "mean cost (s)"]);
+    let mut acquisition_table = TextTable::new(vec![
+        "benchmark",
+        "acquisition",
+        "best RMSE (s)",
+        "mean cost (s)",
+    ]);
     for kernel in [SpaptKernel::Gemver, SpaptKernel::Correlation] {
-        for row in ablation::acquisition_ablation(kernel, scale) {
+        for row in ablation::acquisition_ablation_with(kernel, &config) {
             acquisition_table.push_row(vec![
                 kernel.name().to_string(),
                 row.acquisition,
@@ -37,7 +42,7 @@ fn main() {
         "speed-up vs baseline",
     ]);
     for kernel in [SpaptKernel::Gemver, SpaptKernel::Jacobi] {
-        for row in ablation::noise_ablation(kernel, &[0.5, 1.0, 2.0, 4.0], scale) {
+        for row in ablation::noise_ablation_with(kernel, &[0.5, 1.0, 2.0, 4.0], &config) {
             noise_table.push_row(vec![
                 kernel.name().to_string(),
                 format!("{:.1}x", row.noise_scale),
@@ -48,5 +53,9 @@ fn main() {
             ]);
         }
     }
-    emit("Noise-robustness ablation", &noise_table, "ablation_noise.csv");
+    emit(
+        "Noise-robustness ablation",
+        &noise_table,
+        "ablation_noise.csv",
+    );
 }

@@ -2,11 +2,15 @@
 //! the optimal number of samples, plus the optimal sample counts.
 
 use alic_experiments::report::{emit, format_sci, TextTable};
-use alic_experiments::{fig1, Scale};
+use alic_experiments::{fig1, RunOptions};
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Figure 1: sample-size study on the mm unroll plane ({scale} scale) ==\n");
+    // Figure 1 is a dataset-level study: the surrogate model plays no role,
+    // but the option is still validated for a uniform CLI.
+    let options = RunOptions::from_args();
+    let scale = options.scale;
+    println!("== Figure 1: sample-size study on the mm unroll plane ({scale} scale) ==");
+    println!("(kernels are profiled directly here; --model/ALIC_MODEL does not apply)\n");
     let result = fig1::run(scale);
 
     let mut table = TextTable::new(vec![

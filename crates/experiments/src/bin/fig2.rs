@@ -3,12 +3,21 @@
 
 use alic_experiments::fig2;
 use alic_experiments::report::{emit, TextTable};
+use alic_experiments::RunOptions;
 
 fn main() {
-    println!("== Figure 2: adi runtime vs. unroll factor, one sample per point ==\n");
+    // Figure 2 is a raw measurement sweep; options are validated for a
+    // uniform CLI even though neither scale nor surrogate changes the sweep.
+    let _options = RunOptions::from_args();
+    println!("== Figure 2: adi runtime vs. unroll factor, one sample per point ==");
+    println!("(kernels are profiled directly here; scale and --model/ALIC_MODEL do not apply)\n");
     let result = fig2::run(1);
 
-    let mut table = TextTable::new(vec!["unroll factor", "observed runtime (s)", "true mean (s)"]);
+    let mut table = TextTable::new(vec![
+        "unroll factor",
+        "observed runtime (s)",
+        "true mean (s)",
+    ]);
     for p in &result.points {
         table.push_row(vec![
             p.unroll.to_string(),

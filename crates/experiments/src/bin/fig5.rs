@@ -4,12 +4,15 @@
 
 use alic_experiments::fig5::Fig5Result;
 use alic_experiments::report::{emit, TextTable};
-use alic_experiments::{table1, Scale};
+use alic_experiments::{table1, RunOptions};
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Figure 5: reduction of profiling cost ({scale} scale) ==\n");
-    let (table1_result, _outcomes) = table1::run(scale);
+    let options = RunOptions::from_args();
+    println!(
+        "== Figure 5: reduction of profiling cost ({}) ==\n",
+        options.describe()
+    );
+    let (table1_result, _outcomes) = table1::run_with(&options.comparison_config());
     let fig = Fig5Result::from_table1(&table1_result);
 
     let mut table = TextTable::new(vec!["benchmark", "reduction of profiling cost"]);

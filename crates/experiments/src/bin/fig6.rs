@@ -2,12 +2,15 @@
 //! plans on the six benchmarks the paper plots.
 
 use alic_experiments::report::{emit_text, format_sci, TextTable};
-use alic_experiments::{fig6, Scale};
+use alic_experiments::{fig6, RunOptions};
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Figure 6: RMSE vs. evaluation time for three sampling plans ({scale} scale) ==\n");
-    let result = fig6::run(scale);
+    let options = RunOptions::from_args();
+    println!(
+        "== Figure 6: RMSE vs. evaluation time for three sampling plans ({}) ==\n",
+        options.describe()
+    );
+    let result = fig6::run_with(&options.comparison_config());
 
     for kernel in &result.kernels {
         println!("--- {} ---", kernel.benchmark);
@@ -24,7 +27,12 @@ fn main() {
         println!("{table}");
 
         // Full-resolution CSV per kernel.
-        let mut csv = TextTable::new(vec!["cost_seconds", "all_observations", "one_observation", "variable_observations"]);
+        let mut csv = TextTable::new(vec![
+            "cost_seconds",
+            "all_observations",
+            "one_observation",
+            "variable_observations",
+        ]);
         for i in 0..grid_len {
             let row: Vec<String> = std::iter::once(kernel.series[0].costs[i].to_string())
                 .chain(kernel.series.iter().map(|s| s.rmse[i].to_string()))

@@ -3,12 +3,15 @@
 //! per-benchmark speed-up with its geometric mean.
 
 use alic_experiments::report::{emit, format_sci, TextTable};
-use alic_experiments::{table1, Scale};
+use alic_experiments::{table1, RunOptions};
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Table 1: profiling cost to reach the lowest common RMSE ({scale} scale) ==\n");
-    let (table1_result, _outcomes) = table1::run(scale);
+    let options = RunOptions::from_args();
+    println!(
+        "== Table 1: profiling cost to reach the lowest common RMSE ({}) ==\n",
+        options.describe()
+    );
+    let (table1_result, _outcomes) = table1::run_with(&options.comparison_config());
 
     let mut table = TextTable::new(vec![
         "benchmark",
@@ -23,8 +26,12 @@ fn main() {
             row.benchmark.clone(),
             format_sci(row.search_space),
             format_sci(row.lowest_common_rmse),
-            row.baseline_cost.map(format_sci).unwrap_or_else(|| "-".into()),
-            row.variable_cost.map(format_sci).unwrap_or_else(|| "-".into()),
+            row.baseline_cost
+                .map(format_sci)
+                .unwrap_or_else(|| "-".into()),
+            row.variable_cost
+                .map(format_sci)
+                .unwrap_or_else(|| "-".into()),
             row.speedup
                 .map(|s| format!("{s:.2}"))
                 .unwrap_or_else(|| "-".into()),
@@ -34,7 +41,9 @@ fn main() {
 
     match table1_result.geometric_mean_speedup {
         Some(gm) => println!("geometric mean speed-up: {gm:.2}x"),
-        None => println!("geometric mean speed-up: not available (no kernel produced a finite speed-up)"),
+        None => println!(
+            "geometric mean speed-up: not available (no kernel produced a finite speed-up)"
+        ),
     }
     println!(
         "\n(The paper reports a geometric-mean reduction of 3.97x, ranging from 0.29x on adi to \

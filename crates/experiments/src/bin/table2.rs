@@ -2,11 +2,15 @@
 //! mean ratio for the full-sample and 5-sample plans.
 
 use alic_experiments::report::{emit, format_sci, TextTable};
-use alic_experiments::{table2, Scale};
+use alic_experiments::{table2, RunOptions};
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Table 2: variance and confidence-interval spreads ({scale} scale) ==\n");
+    // Table 2 characterizes the kernels' noise, independent of any surrogate
+    // model; options are still validated for a uniform CLI.
+    let options = RunOptions::from_args();
+    let scale = options.scale;
+    println!("== Table 2: variance and confidence-interval spreads ({scale} scale) ==");
+    println!("(kernels are profiled directly here; --model/ALIC_MODEL does not apply)\n");
     let result = table2::run(scale);
 
     let mut table = TextTable::new(vec![

@@ -84,23 +84,19 @@ fn subset_mae(samples: &[f64], k: usize, reference: f64, rng: &mut StatsRng) -> 
 
 /// Runs the Figure 1 study at the given scale.
 pub fn run(scale: Scale) -> Fig1Result {
-    run_with(scale.fig1_grid(), scale.observations(), MAE_THRESHOLD_SECONDS, 0)
+    run_with(
+        scale.fig1_grid(),
+        scale.observations(),
+        MAE_THRESHOLD_SECONDS,
+        0,
+    )
 }
 
 /// Runs the study with explicit parameters (exposed for tests and benches).
-pub fn run_with(
-    grid: u32,
-    observations: usize,
-    threshold: f64,
-    seed: u64,
-) -> Fig1Result {
+pub fn run_with(grid: u32, observations: usize, threshold: f64, seed: u64) -> Fig1Result {
     let spec = spapt_kernel(SpaptKernel::Mm);
     let mut profiler = SimulatedProfiler::new(spec, seed);
-    let default_values: Vec<u32> = profiler
-        .space()
-        .default_configuration()
-        .values()
-        .to_vec();
+    let default_values: Vec<u32> = profiler.space().default_configuration().values().to_vec();
     let mut rng = seeded_stream(seed, 0xF161);
 
     let mut points = Vec::with_capacity((grid * grid) as usize);
@@ -114,8 +110,8 @@ pub fn run_with(
                 .map(|_| profiler.measure(&configuration).runtime)
                 .collect();
             let reference = Summary::from_slice(&samples).mean;
-            let mae_single = mean_absolute_deviation(&samples, reference)
-                .expect("sample set is non-empty");
+            let mae_single =
+                mean_absolute_deviation(&samples, reference).expect("sample set is non-empty");
             // Smallest k whose subsampled mean stays within the threshold.
             let mut optimal_samples = observations;
             let mut mae_optimal = 0.0;

@@ -33,12 +33,22 @@ pub struct Fig2Result {
 impl Fig2Result {
     /// Mean observed runtime over the low-unroll plateau (factors 1–8).
     pub fn plateau_level(&self) -> f64 {
-        mean(self.points.iter().filter(|p| p.unroll <= 8).map(|p| p.observed_runtime))
+        mean(
+            self.points
+                .iter()
+                .filter(|p| p.unroll <= 8)
+                .map(|p| p.observed_runtime),
+        )
     }
 
     /// Mean observed runtime over the high-unroll plateau (factors 25–30).
     pub fn high_level(&self) -> f64 {
-        mean(self.points.iter().filter(|p| p.unroll >= 25).map(|p| p.observed_runtime))
+        mean(
+            self.points
+                .iter()
+                .filter(|p| p.unroll >= 25)
+                .map(|p| p.observed_runtime),
+        )
     }
 }
 
@@ -89,7 +99,10 @@ mod tests {
         let result = run(2);
         let low = result.plateau_level();
         let high = result.high_level();
-        assert!(low < 2.5, "low-unroll plateau should sit near 2.1 s, got {low}");
+        assert!(
+            low < 2.5,
+            "low-unroll plateau should sit near 2.1 s, got {low}"
+        );
         assert!(
             high - low > 0.6,
             "high-unroll level should climb by roughly 1 s, got {low} -> {high}"

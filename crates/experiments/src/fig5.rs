@@ -40,7 +40,11 @@ impl Fig5Result {
                 })
             })
             .collect();
-        bars.sort_by(|a, b| a.reduction.partial_cmp(&b.reduction).expect("finite reductions"));
+        bars.sort_by(|a, b| {
+            a.reduction
+                .partial_cmp(&b.reduction)
+                .expect("finite reductions")
+        });
         if let Some(gm) = table.geometric_mean_speedup {
             bars.push(Bar {
                 label: "Geo-mean".to_string(),
@@ -98,7 +102,11 @@ mod tests {
 
     #[test]
     fn bars_are_sorted_and_end_with_the_geometric_mean() {
-        let table = table_with(&[("adi", Some(0.3)), ("gemver", Some(26.0)), ("mm", Some(1.1))]);
+        let table = table_with(&[
+            ("adi", Some(0.3)),
+            ("gemver", Some(26.0)),
+            ("mm", Some(1.1)),
+        ]);
         let fig = Fig5Result::from_table1(&table);
         assert_eq!(fig.bars.len(), 4);
         assert_eq!(fig.bars[0].label, "adi");

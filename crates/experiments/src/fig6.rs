@@ -73,10 +73,16 @@ pub fn curves_from_outcomes(outcomes: &[ComparisonOutcome]) -> Fig6Result {
     Fig6Result { kernels }
 }
 
+/// Runs the comparison for the six Figure 6 benchmarks with an explicit
+/// configuration (any scale, any surrogate family).
+pub fn run_with(config: &alic_core::experiment::ComparisonConfig) -> Fig6Result {
+    let (_, outcomes) = table1::run_for_kernels_with(&FIG6_KERNELS, config);
+    curves_from_outcomes(&outcomes)
+}
+
 /// Runs the comparison for the six Figure 6 benchmarks at the given scale.
 pub fn run(scale: Scale) -> Fig6Result {
-    let (_, outcomes) = table1::run_for_kernels(&FIG6_KERNELS, scale);
-    curves_from_outcomes(&outcomes)
+    run_with(&scale.comparison_config())
 }
 
 #[cfg(test)]

@@ -16,7 +16,10 @@
 //! Every binary accepts an optional scale argument (`quick`, `laptop`,
 //! `full`) controlling how much work is done; `laptop` (the default)
 //! reproduces the qualitative shapes in seconds to minutes, while `full`
-//! approaches the paper's protocol sizes.
+//! approaches the paper's protocol sizes. Binaries that build learners also
+//! accept `--model <name>` (or the `ALIC_MODEL` environment variable) to run
+//! the whole protocol against any surrogate family of
+//! [`SurrogateSpec`](alic_model::SurrogateSpec) — see [`options`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -26,9 +29,11 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig5;
 pub mod fig6;
+pub mod options;
 pub mod report;
 pub mod scale;
 pub mod table1;
 pub mod table2;
 
+pub use options::RunOptions;
 pub use scale::Scale;

@@ -133,8 +133,18 @@ pub fn output_dir() -> PathBuf {
 ///
 /// Returns any underlying I/O error.
 pub fn write_output(name: &str, contents: &str) -> io::Result<PathBuf> {
-    let dir = output_dir();
-    fs::create_dir_all(&dir)?;
+    write_output_to(&output_dir(), name, contents)
+}
+
+/// Writes `contents` to `<dir>/<name>`, creating the directory if needed,
+/// and returns the path written (the environment-independent core of
+/// [`write_output`]).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_output_to(dir: &Path, name: &str, contents: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
     let path = dir.join(name);
     fs::write(&path, contents)?;
     Ok(path)
@@ -214,7 +224,10 @@ mod tests {
 
     #[test]
     fn write_output_creates_the_file() {
-        std::env::set_var("ALIC_OUTPUT_DIR", std::env::temp_dir().join("alic-report-test"));
+        std::env::set_var(
+            "ALIC_OUTPUT_DIR",
+            std::env::temp_dir().join("alic-report-test"),
+        );
         let path = write_output("unit-test.csv", "a,b\n1,2\n").unwrap();
         assert!(path.exists());
         std::fs::remove_file(path).ok();

@@ -11,6 +11,7 @@ use alic_core::learner::LearnerConfig;
 use alic_core::plan::SamplingPlan;
 use alic_data::dataset::DatasetConfig;
 use alic_model::dynatree::DynaTreeConfig;
+use alic_model::SurrogateSpec;
 
 /// How much work an experiment binary performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,18 +38,44 @@ impl Scale {
         }
     }
 
-    /// Reads the scale from the first CLI argument, falling back to the
-    /// `ALIC_SCALE` environment variable and then to [`Scale::Laptop`].
-    pub fn from_args() -> Self {
-        std::env::args()
-            .nth(1)
-            .and_then(|a| Scale::from_name(&a))
-            .or_else(|| {
-                std::env::var("ALIC_SCALE")
-                    .ok()
-                    .and_then(|v| Scale::from_name(&v))
-            })
-            .unwrap_or_default()
+    /// Number of dynamic-tree particles appropriate for this scale (the
+    /// paper's full protocol uses thousands; smoke tests get by with dozens).
+    pub fn particles(self) -> usize {
+        match self {
+            Scale::Quick => 40,
+            Scale::Laptop => 60,
+            Scale::Full => 1_000,
+        }
+    }
+
+    /// The default surrogate for this scale: the paper's dynamic tree with
+    /// [`Scale::particles`] particles.
+    pub fn default_model(self) -> SurrogateSpec {
+        self.scaled_model(SurrogateSpec::default())
+    }
+
+    /// Adjusts a surrogate specification to this scale. Stochastic-ensemble
+    /// hyper-parameters (the dynamic tree's particle count) follow the scale;
+    /// every other family is already scale-independent and passes through
+    /// unchanged.
+    pub fn scaled_model(self, model: SurrogateSpec) -> SurrogateSpec {
+        match model {
+            SurrogateSpec::DynaTree(config) => SurrogateSpec::DynaTree(DynaTreeConfig {
+                particles: self.particles(),
+                ..config
+            }),
+            other => other,
+        }
+    }
+
+    /// The plan-comparison configuration for this scale with an explicit
+    /// surrogate model (used by the binaries' `--model` / `ALIC_MODEL`
+    /// selection).
+    pub fn comparison_config_for(self, model: SurrogateSpec) -> ComparisonConfig {
+        ComparisonConfig {
+            model: self.scaled_model(model),
+            ..self.comparison_config()
+        }
     }
 
     /// The plan-comparison configuration for this scale (used by Table 1,
@@ -66,10 +93,7 @@ impl Scale {
                 },
                 plans: default_plans(8),
                 repetitions: 2,
-                model: DynaTreeConfig {
-                    particles: 40,
-                    ..Default::default()
-                },
+                model: Scale::Quick.default_model(),
                 dataset: DatasetConfig {
                     configurations: 300,
                     observations: 8,
@@ -93,10 +117,7 @@ impl Scale {
                 },
                 plans: default_plans(35),
                 repetitions: 3,
-                model: DynaTreeConfig {
-                    particles: 60,
-                    ..Default::default()
-                },
+                model: Scale::Laptop.default_model(),
                 dataset: DatasetConfig {
                     configurations: 2_000,
                     observations: 35,
@@ -117,10 +138,7 @@ impl Scale {
                 },
                 plans: default_plans(35),
                 repetitions: 10,
-                model: DynaTreeConfig {
-                    particles: 1_000,
-                    ..Default::default()
-                },
+                model: Scale::Full.default_model(),
                 dataset: DatasetConfig {
                     configurations: 10_000,
                     observations: 35,
@@ -213,5 +231,29 @@ mod tests {
             assert!(config.plans.iter().any(|p| p.allows_revisits()));
             assert!(config.plans.contains(&SamplingPlan::one_observation()));
         }
+    }
+
+    #[test]
+    fn default_model_particles_grow_with_scale() {
+        for scale in [Scale::Quick, Scale::Laptop, Scale::Full] {
+            match scale.default_model() {
+                SurrogateSpec::DynaTree(config) => assert_eq!(config.particles, scale.particles()),
+                other => panic!("default model must be the dynamic tree, got {other}"),
+            }
+        }
+        assert!(Scale::Quick.particles() < Scale::Full.particles());
+    }
+
+    #[test]
+    fn scaled_model_leaves_deterministic_families_alone() {
+        let cart = SurrogateSpec::from_name("cart").unwrap();
+        assert_eq!(Scale::Full.scaled_model(cart), cart);
+        let config = Scale::Quick.comparison_config_for(cart);
+        assert_eq!(config.model, cart);
+        // The rest of the preset is untouched by the model choice.
+        assert_eq!(
+            config.repetitions,
+            Scale::Quick.comparison_config().repetitions
+        );
     }
 }

@@ -43,7 +43,10 @@ pub struct Table1Result {
 
 /// Runs the full plan comparison for the given kernels and converts the
 /// outcomes into Table 1 rows.
-pub fn rows_from_outcomes(outcomes: &[ComparisonOutcome], config: &ComparisonConfig) -> Table1Result {
+pub fn rows_from_outcomes(
+    outcomes: &[ComparisonOutcome],
+    config: &ComparisonConfig,
+) -> Table1Result {
     let baseline_plan = config
         .plans
         .iter()
@@ -88,22 +91,39 @@ pub fn rows_from_outcomes(outcomes: &[ComparisonOutcome], config: &ComparisonCon
     }
 }
 
-/// Runs the comparison for a set of kernels at a given scale.
-pub fn run_for_kernels(kernels: &[SpaptKernel], scale: Scale) -> (Table1Result, Vec<ComparisonOutcome>) {
-    let config = scale.comparison_config();
+/// Runs the comparison for a set of kernels with an explicit configuration
+/// (any scale, any [`SurrogateSpec`](alic_model::SurrogateSpec) family).
+pub fn run_for_kernels_with(
+    kernels: &[SpaptKernel],
+    config: &ComparisonConfig,
+) -> (Table1Result, Vec<ComparisonOutcome>) {
     let outcomes: Vec<ComparisonOutcome> = kernels
         .par_iter()
         .map(|&kernel| {
-            compare_plans(&spapt_kernel(kernel), &config)
+            compare_plans(&spapt_kernel(kernel), config)
                 .expect("comparison configuration is internally consistent")
         })
         .collect();
-    (rows_from_outcomes(&outcomes, &config), outcomes)
+    (rows_from_outcomes(&outcomes, config), outcomes)
+}
+
+/// Runs the comparison for a set of kernels at a given scale with the
+/// default (dynamic-tree) surrogate.
+pub fn run_for_kernels(
+    kernels: &[SpaptKernel],
+    scale: Scale,
+) -> (Table1Result, Vec<ComparisonOutcome>) {
+    run_for_kernels_with(kernels, &scale.comparison_config())
+}
+
+/// Runs Table 1 over all 11 benchmarks with an explicit configuration.
+pub fn run_with(config: &ComparisonConfig) -> (Table1Result, Vec<ComparisonOutcome>) {
+    run_for_kernels_with(&SpaptKernel::all(), config)
 }
 
 /// Runs Table 1 over all 11 benchmarks at the given scale.
 pub fn run(scale: Scale) -> (Table1Result, Vec<ComparisonOutcome>) {
-    run_for_kernels(&SpaptKernel::all(), scale)
+    run_with(&scale.comparison_config())
 }
 
 #[cfg(test)]

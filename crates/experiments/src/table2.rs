@@ -57,7 +57,12 @@ pub struct Table2Row {
 }
 
 /// Runs the Table 2 study for one kernel.
-pub fn run_kernel(kernel: SpaptKernel, configurations: usize, observations: usize, seed: u64) -> Table2Row {
+pub fn run_kernel(
+    kernel: SpaptKernel,
+    configurations: usize,
+    observations: usize,
+    seed: u64,
+) -> Table2Row {
     let spec = spapt_kernel(kernel);
     let mut profiler = SimulatedProfiler::new(spec, seed);
     let mut rng = alic_stats::rng::seeded_stream(seed, 0x7AB2);
@@ -110,7 +115,14 @@ pub fn run(scale: Scale) -> Table2Result {
     let observations = scale.observations();
     let rows: Vec<Table2Row> = SpaptKernel::all()
         .into_par_iter()
-        .map(|kernel| run_kernel(kernel, configurations, observations, derive_seed(7, kernel as u64)))
+        .map(|kernel| {
+            run_kernel(
+                kernel,
+                configurations,
+                observations,
+                derive_seed(7, kernel as u64),
+            )
+        })
         .collect();
     Table2Result { rows }
 }

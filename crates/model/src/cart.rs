@@ -99,13 +99,7 @@ impl RegressionTree {
         }
     }
 
-    fn build(
-        &mut self,
-        xs: &[Vec<f64>],
-        ys: &[f64],
-        indices: Vec<usize>,
-        depth: usize,
-    ) -> usize {
+    fn build(&mut self, xs: &[Vec<f64>], ys: &[f64], indices: Vec<usize>, depth: usize) -> usize {
         let stats = LeafStats::from_targets(&indices.iter().map(|&i| ys[i]).collect::<Vec<_>>());
         let node_variance = variance_of(&indices, ys);
         if depth >= self.config.max_depth
@@ -115,9 +109,11 @@ impl RegressionTree {
             self.nodes.push(Node::Leaf { stats });
             return self.nodes.len() - 1;
         }
-        // Greedy best split over all dimensions and midpoints.
+        // Greedy best split over all dimensions and midpoints. (`xs` is
+        // indexed by example, not by `d`; the lint misreads the loop.)
         let dim = xs[0].len();
         let mut best: Option<(usize, f64, f64)> = None; // (dimension, threshold, gain)
+        #[allow(clippy::needless_range_loop)]
         for d in 0..dim {
             let mut values: Vec<f64> = indices.iter().map(|&i| xs[i][d]).collect();
             values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
@@ -136,7 +132,7 @@ impl RegressionTree {
                     + right.len() as f64 * variance_of(&right, ys))
                     / indices.len() as f64;
                 let gain = node_variance - weighted;
-                if best.map_or(true, |(_, _, g)| gain > g) {
+                if best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((d, threshold, gain));
                 }
             }
@@ -145,10 +141,13 @@ impl RegressionTree {
             Some((dimension, threshold, gain))
                 if gain > self.config.min_gain * node_variance.max(1e-12) =>
             {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-                    indices.iter().partition(|&&i| xs[i][dimension] <= threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| xs[i][dimension] <= threshold);
                 let placeholder = self.nodes.len();
-                self.nodes.push(Node::Leaf { stats: LeafStats::new() });
+                self.nodes.push(Node::Leaf {
+                    stats: LeafStats::new(),
+                });
                 let left = self.build(xs, ys, left_idx, depth + 1);
                 let right = self.build(xs, ys, right_idx, depth + 1);
                 self.nodes[placeholder] = Node::Split {
@@ -180,7 +179,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    index = if x[*dimension] <= *threshold { *left } else { *right };
+                    index = if x[*dimension] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -246,7 +249,11 @@ impl SurrogateModel for RegressionTree {
                     left,
                     right,
                 } => {
-                    index = if x[*dimension] <= *threshold { *left } else { *right };
+                    index = if x[*dimension] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -277,7 +284,10 @@ mod tests {
     fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
         // A step function: 1.0 below x = 0.5, 3.0 above.
         let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| if x[0] <= 0.5 { 1.0 } else { 3.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] <= 0.5 { 1.0 } else { 3.0 })
+            .collect();
         (xs, ys)
     }
 
@@ -339,7 +349,10 @@ mod tests {
         tree.fit(&xs, &ys).unwrap();
         assert!(matches!(
             tree.predict(&[1.0, 2.0]),
-            Err(ModelError::DimensionMismatch { expected: 1, actual: 2 })
+            Err(ModelError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            })
         ));
     }
 

@@ -116,7 +116,10 @@ impl DynaTree {
         if self.particles.is_empty() {
             return 0.0;
         }
-        self.particles.iter().map(|p| p.leaf_count() as f64).sum::<f64>()
+        self.particles
+            .iter()
+            .map(|p| p.leaf_count() as f64)
+            .sum::<f64>()
             / self.particles.len() as f64
     }
 
@@ -139,7 +142,10 @@ impl DynaTree {
     /// log weights.
     fn resample_indices(&mut self, log_weights: &[f64]) -> Vec<usize> {
         let n = log_weights.len();
-        let max = log_weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = log_weights
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let weights: Vec<f64> = log_weights.iter().map(|w| (w - max).exp()).collect();
         let total: f64 = weights.iter().sum();
         if !(total.is_finite()) || total <= 0.0 {
@@ -178,7 +184,7 @@ impl DynaTree {
                 lo = lo.min(self.xs[p][d]);
                 hi = hi.max(self.xs[p][d]);
             }
-            if !(hi > lo) {
+            if hi <= lo {
                 continue;
             }
             let threshold = self.rng.gen_range(lo..hi);
@@ -197,7 +203,7 @@ impl DynaTree {
                 dimension: d,
                 threshold,
             };
-            if best.as_ref().map_or(true, |(_, b)| lml > *b) {
+            if best.as_ref().is_none_or(|(_, b)| lml > *b) {
                 best = Some((split, lml));
             }
         }
@@ -208,7 +214,9 @@ impl DynaTree {
     /// leaf that just received a new observation.
     fn apply_move(&mut self, particle: &mut ParticleTree, leaf: usize) {
         let depth = particle.depth_of(leaf);
-        let leaf_lml = particle.leaf_stats(leaf).log_marginal_likelihood(&self.prior);
+        let leaf_lml = particle
+            .leaf_stats(leaf)
+            .log_marginal_likelihood(&self.prior);
 
         // Log-odds of the candidate moves relative to "stay" (whose log-odds
         // are zero by construction).
@@ -226,7 +234,7 @@ impl DynaTree {
             let sibling_lml = particle
                 .leaf_stats(sibling)
                 .log_marginal_likelihood(&self.prior);
-            let mut merged = particle.leaf_stats(leaf).clone();
+            let mut merged = *particle.leaf_stats(leaf);
             merged.merge(particle.leaf_stats(sibling));
             let merged_lml = merged.log_marginal_likelihood(&self.prior);
             let parent_depth = depth.saturating_sub(1);
@@ -456,7 +464,10 @@ mod tests {
         let model = fit_on(|x| 2.0 + x, 80, 2);
         let a = model.predict(&[0.1]).unwrap().mean;
         let b = model.predict(&[0.9]).unwrap().mean;
-        assert!(b > a + 0.3, "prediction should increase along the trend: {a} vs {b}");
+        assert!(
+            b > a + 0.3,
+            "prediction should increase along the trend: {a} vs {b}"
+        );
     }
 
     #[test]
@@ -582,7 +593,10 @@ mod tests {
     fn errors_before_fit_and_on_bad_input() {
         let mut model = DynaTree::with_seed(0);
         assert_eq!(model.predict(&[0.0]).unwrap_err(), ModelError::NotFitted);
-        assert_eq!(model.update(&[0.0], 1.0).unwrap_err(), ModelError::NotFitted);
+        assert_eq!(
+            model.update(&[0.0], 1.0).unwrap_err(),
+            ModelError::NotFitted
+        );
         let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
         let ys = vec![0.0, 1.0, 2.0];
         model.fit(&xs, &ys).unwrap();

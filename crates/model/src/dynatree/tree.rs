@@ -277,7 +277,10 @@ mod tests {
 
     fn line_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
         let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| if x[0] <= 0.5 { 1.0 } else { 2.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] <= 0.5 { 1.0 } else { 2.0 })
+            .collect();
         (xs, ys)
     }
 
@@ -297,7 +300,10 @@ mod tests {
         let mut tree = ParticleTree::new_root((0..10).collect(), &ys);
         let ok = tree.grow(
             0,
-            Split { dimension: 0, threshold: 0.5 },
+            Split {
+                dimension: 0,
+                threshold: 0.5,
+            },
             &xs,
             &ys,
             1,
@@ -319,7 +325,10 @@ mod tests {
         let mut tree = ParticleTree::new_root((0..10).collect(), &ys);
         let ok = tree.grow(
             0,
-            Split { dimension: 0, threshold: -1.0 },
+            Split {
+                dimension: 0,
+                threshold: -1.0,
+            },
             &xs,
             &ys,
             1,
@@ -332,13 +341,31 @@ mod tests {
     fn prune_restores_the_parent_leaf() {
         let (xs, ys) = line_data(10);
         let mut tree = ParticleTree::new_root((0..10).collect(), &ys);
-        tree.grow(0, Split { dimension: 0, threshold: 0.5 }, &xs, &ys, 1);
+        tree.grow(
+            0,
+            Split {
+                dimension: 0,
+                threshold: 0.5,
+            },
+            &xs,
+            &ys,
+            1,
+        );
         let leaf = tree.find_leaf(&[0.1]);
         assert!(tree.prune(leaf, &ys));
         assert_eq!(tree.leaf_count(), 1);
         assert_eq!(tree.point_count(), 10);
         // Freed slots are reused by the next grow.
-        assert!(tree.grow(0, Split { dimension: 0, threshold: 0.3 }, &xs, &ys, 1));
+        assert!(tree.grow(
+            0,
+            Split {
+                dimension: 0,
+                threshold: 0.3
+            },
+            &xs,
+            &ys,
+            1
+        ));
         assert_eq!(tree.leaf_count(), 2);
     }
 
@@ -353,7 +380,16 @@ mod tests {
     fn insert_updates_the_correct_leaf() {
         let (xs, ys) = line_data(10);
         let mut tree = ParticleTree::new_root((0..10).collect(), &ys);
-        tree.grow(0, Split { dimension: 0, threshold: 0.5 }, &xs, &ys, 1);
+        tree.grow(
+            0,
+            Split {
+                dimension: 0,
+                threshold: 0.5,
+            },
+            &xs,
+            &ys,
+            1,
+        );
         let before = tree.leaf_stats(tree.find_leaf(&[0.9])).count();
         let leaf = tree.insert(&[0.9], 10, 2.5);
         assert_eq!(tree.leaf_stats(leaf).count(), before + 1);
@@ -363,7 +399,16 @@ mod tests {
     fn log_weight_is_higher_for_consistent_observations() {
         let (xs, ys) = line_data(20);
         let mut tree = ParticleTree::new_root((0..20).collect(), &ys);
-        tree.grow(0, Split { dimension: 0, threshold: 0.5 }, &xs, &ys, 1);
+        tree.grow(
+            0,
+            Split {
+                dimension: 0,
+                threshold: 0.5,
+            },
+            &xs,
+            &ys,
+            1,
+        );
         let prior = LeafPrior::weakly_informative(1.5, 0.25);
         let consistent = tree.log_weight(&[0.2], 1.0, &prior);
         let surprising = tree.log_weight(&[0.2], 5.0, &prior);
@@ -374,7 +419,16 @@ mod tests {
     fn sibling_detection() {
         let (xs, ys) = line_data(12);
         let mut tree = ParticleTree::new_root((0..12).collect(), &ys);
-        tree.grow(0, Split { dimension: 0, threshold: 0.5 }, &xs, &ys, 1);
+        tree.grow(
+            0,
+            Split {
+                dimension: 0,
+                threshold: 0.5,
+            },
+            &xs,
+            &ys,
+            1,
+        );
         let left = tree.find_leaf(&[0.0]);
         let right = tree.find_leaf(&[1.0]);
         assert_eq!(tree.leaf_sibling(left), Some(right));
@@ -382,7 +436,16 @@ mod tests {
         assert_eq!(tree.parent_of(left), Some(0));
         // After growing the left leaf again, the right leaf's sibling is an
         // internal node, so prune must not be offered there.
-        tree.grow(left, Split { dimension: 0, threshold: 0.25 }, &xs, &ys, 1);
+        tree.grow(
+            left,
+            Split {
+                dimension: 0,
+                threshold: 0.25,
+            },
+            &xs,
+            &ys,
+            1,
+        );
         assert_eq!(tree.leaf_sibling(right), None);
     }
 
@@ -390,9 +453,27 @@ mod tests {
     fn leaves_iterator_matches_leaf_count() {
         let (xs, ys) = line_data(16);
         let mut tree = ParticleTree::new_root((0..16).collect(), &ys);
-        tree.grow(0, Split { dimension: 0, threshold: 0.5 }, &xs, &ys, 1);
+        tree.grow(
+            0,
+            Split {
+                dimension: 0,
+                threshold: 0.5,
+            },
+            &xs,
+            &ys,
+            1,
+        );
         let l = tree.find_leaf(&[0.2]);
-        tree.grow(l, Split { dimension: 0, threshold: 0.25 }, &xs, &ys, 1);
+        tree.grow(
+            l,
+            Split {
+                dimension: 0,
+                threshold: 0.25,
+            },
+            &xs,
+            &ys,
+            1,
+        );
         assert_eq!(tree.leaves().count(), tree.leaf_count());
         assert_eq!(tree.leaf_count(), 3);
     }

@@ -91,26 +91,27 @@ impl GaussianProcess {
     fn refit(&mut self) -> Result<()> {
         let n = self.ys.len();
         self.mean = self.ys.iter().sum::<f64>() / n as f64;
-        if self.config.lengthscale.is_none() {
-            self.lengthscale = median_pairwise_distance(&self.xs).max(1e-6);
-        } else {
-            self.lengthscale = self.config.lengthscale.unwrap();
-        }
-        if self.config.signal_variance.is_none() {
-            let var = self
-                .ys
-                .iter()
-                .map(|y| (y - self.mean) * (y - self.mean))
-                .sum::<f64>()
-                / n as f64;
-            self.signal_variance = var.max(1e-10);
-        } else {
-            self.signal_variance = self.config.signal_variance.unwrap();
-        }
+        self.lengthscale = match self.config.lengthscale {
+            Some(lengthscale) => lengthscale,
+            None => median_pairwise_distance(&self.xs).max(1e-6),
+        };
+        self.signal_variance = match self.config.signal_variance {
+            Some(signal_variance) => signal_variance,
+            None => {
+                let var = self
+                    .ys
+                    .iter()
+                    .map(|y| (y - self.mean) * (y - self.mean))
+                    .sum::<f64>()
+                    / n as f64;
+                var.max(1e-10)
+            }
+        };
         let mut k = Matrix::from_fn(n, n, |i, j| self.kernel(&self.xs[i], &self.xs[j]));
         k.add_diagonal(self.config.noise_variance.max(1e-10) + 1e-8 * self.signal_variance);
-        let chol = Cholesky::decompose(&k)
-            .map_err(|e| ModelError::Numerical(format!("kernel matrix decomposition failed: {e}")))?;
+        let chol = Cholesky::decompose(&k).map_err(|e| {
+            ModelError::Numerical(format!("kernel matrix decomposition failed: {e}"))
+        })?;
         let centred: Vec<f64> = self.ys.iter().map(|y| y - self.mean).collect();
         self.alpha = chol
             .solve(&centred)

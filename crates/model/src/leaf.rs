@@ -187,13 +187,21 @@ mod tests {
         let targets: Vec<f64> = (0..50).map(|i| 3.0 + 0.01 * (i % 5) as f64).collect();
         let leaf = LeafStats::from_targets(&targets);
         let (mean, _) = leaf.predictive_mean_variance(&prior());
-        assert!((mean - leaf.mean()).abs() < 0.02, "mean {mean} vs {}", leaf.mean());
+        assert!(
+            (mean - leaf.mean()).abs() < 0.02,
+            "mean {mean} vs {}",
+            leaf.mean()
+        );
     }
 
     #[test]
     fn predictive_variance_shrinks_with_more_data() {
         let few = LeafStats::from_targets(&[2.0, 2.1, 1.9]);
-        let many = LeafStats::from_targets(&(0..60).map(|i| 2.0 + 0.1 * ((i % 3) as f64 - 1.0)).collect::<Vec<_>>());
+        let many = LeafStats::from_targets(
+            &(0..60)
+                .map(|i| 2.0 + 0.1 * ((i % 3) as f64 - 1.0))
+                .collect::<Vec<_>>(),
+        );
         let (_, var_few) = few.predictive_mean_variance(&prior());
         let (_, var_many) = many.predictive_mean_variance(&prior());
         assert!(var_many < var_few);
@@ -214,9 +222,7 @@ mod tests {
         // likelihood than widely spread targets.
         let tight = LeafStats::from_targets(&[1.0, 1.02, 0.98, 1.01, 0.99]);
         let spread = LeafStats::from_targets(&[0.0, 2.0, -1.0, 3.0, 1.0]);
-        assert!(
-            tight.log_marginal_likelihood(&prior()) > spread.log_marginal_likelihood(&prior())
-        );
+        assert!(tight.log_marginal_likelihood(&prior()) > spread.log_marginal_likelihood(&prior()));
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! All models implement the [`SurrogateModel`] trait; models that can also
 //! score candidate usefulness for active learning (§3.3) implement
 //! [`ActiveSurrogate`], providing MacKay's ALM and Cohn's ALC criteria.
+//! The [`SurrogateSpec`] enum describes any family plus its
+//! hyper-parameters as plain data and materializes boxed
+//! `dyn ActiveSurrogate` models from it, which is how the experiment
+//! harness stays model-agnostic.
 //!
 //! # Examples
 //!
@@ -50,9 +54,11 @@ pub mod dynatree;
 pub mod gp;
 pub mod knn;
 pub mod leaf;
+pub mod spec;
 pub mod traits;
 
 pub use dynatree::{DynaTree, DynaTreeConfig};
+pub use spec::SurrogateSpec;
 pub use traits::{ActiveSurrogate, Prediction, SurrogateModel};
 
 /// Errors produced by the model crate.
@@ -155,11 +161,17 @@ mod tests {
         );
         assert_eq!(
             validate_training_set(&[vec![1.0]], &[1.0, 2.0]),
-            Err(ModelError::LengthMismatch { inputs: 1, targets: 2 })
+            Err(ModelError::LengthMismatch {
+                inputs: 1,
+                targets: 2
+            })
         );
         assert_eq!(
             validate_training_set(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]),
-            Err(ModelError::DimensionMismatch { expected: 1, actual: 2 })
+            Err(ModelError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            })
         );
         assert_eq!(
             validate_training_set(&[vec![f64::NAN]], &[1.0]),
@@ -169,8 +181,13 @@ mod tests {
 
     #[test]
     fn errors_display_meaningfully() {
-        let e = ModelError::DimensionMismatch { expected: 3, actual: 1 };
+        let e = ModelError::DimensionMismatch {
+            expected: 3,
+            actual: 1,
+        };
         assert!(e.to_string().contains("3"));
-        assert!(ModelError::NotFitted.to_string().contains("not been fitted"));
+        assert!(ModelError::NotFitted
+            .to_string()
+            .contains("not been fitted"));
     }
 }

@@ -190,7 +190,10 @@ mod tests {
 
     #[test]
     fn alm_prefers_the_most_uncertain_candidate() {
-        let model = FlatModel { n: 0, variance: 0.1 };
+        let model = FlatModel {
+            n: 0,
+            variance: 0.1,
+        };
         let near = model.alm_score(&[0.1]).unwrap();
         let far = model.alm_score(&[3.0]).unwrap();
         assert!(far > near);
@@ -198,7 +201,10 @@ mod tests {
 
     #[test]
     fn alc_with_empty_reference_falls_back_to_alm() {
-        let model = FlatModel { n: 0, variance: 0.2 };
+        let model = FlatModel {
+            n: 0,
+            variance: 0.2,
+        };
         let alm = model.alm_score(&[1.0]).unwrap();
         let alc = model.alc_score(&[1.0], &[]).unwrap();
         assert_eq!(alm, alc);
@@ -206,7 +212,10 @@ mod tests {
 
     #[test]
     fn alc_scores_candidates_near_uncertain_references_higher() {
-        let model = FlatModel { n: 0, variance: 0.0 };
+        let model = FlatModel {
+            n: 0,
+            variance: 0.0,
+        };
         // Reference point far from the origin has high variance; a candidate
         // near it should score higher than one near the origin.
         let reference = vec![vec![3.0]];

@@ -75,8 +75,8 @@ impl CompileCostModel {
         // Normalize so the maximal configuration costs roughly
         // (1 + unroll_weight + tile_weight + register_weight) × base,
         // independent of how many parameters of each kind exist.
-        let normalizer = (unroll_count.max(1) + tile_count.max(1) + register_count.max(1)) as f64
-            / 3.0;
+        let normalizer =
+            (unroll_count.max(1) + tile_count.max(1) + register_count.max(1)) as f64 / 3.0;
         self.base_compile_time * (1.0 + relative / normalizer)
     }
 }

@@ -282,7 +282,9 @@ mod tests {
         let model = NoiseModel::new(&space, profile, 2);
         let config = space.default_configuration();
         let mut rng = seeded_rng(7);
-        let samples: Vec<f64> = (0..5000).map(|_| model.sample(&mut rng, &config, 2.0)).collect();
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| model.sample(&mut rng, &config, 2.0))
+            .collect();
         let s = Summary::from_slice(&samples);
         assert!((s.mean - 2.0).abs() < 0.01, "mean drifted: {}", s.mean);
     }
@@ -292,7 +294,9 @@ mod tests {
         let space = space();
         let model = NoiseModel::new(&space, NoiseProfile::moderate(), 3);
         let mut rng = seeded_rng(11);
-        let sigmas: Vec<f64> = (0..2000).map(|_| model.sigma(&space.sample(&mut rng))).collect();
+        let sigmas: Vec<f64> = (0..2000)
+            .map(|_| model.sigma(&space.sample(&mut rng)))
+            .collect();
         let s = Summary::from_slice(&sigmas);
         assert!(
             s.max / s.min > 20.0,
@@ -314,7 +318,10 @@ mod tests {
             .filter(|_| model.in_pocket(&space.sample(&mut rng)))
             .count();
         let frac = hits as f64 / 5000.0;
-        assert!(frac > 0.02 && frac < 0.3, "pocket fraction {frac} out of band");
+        assert!(
+            frac > 0.02 && frac < 0.3,
+            "pocket fraction {frac} out of band"
+        );
     }
 
     #[test]
@@ -326,9 +333,15 @@ mod tests {
         let model = NoiseModel::new(&space, profile, 5);
         let config = space.default_configuration();
         let mut rng = seeded_rng(17);
-        let samples: Vec<f64> = (0..4000).map(|_| model.sample(&mut rng, &config, 1.0)).collect();
+        let samples: Vec<f64> = (0..4000)
+            .map(|_| model.sample(&mut rng, &config, 1.0))
+            .collect();
         let s = Summary::from_slice(&samples);
-        assert!(s.mean > 1.05, "interference should inflate the mean, got {}", s.mean);
+        assert!(
+            s.mean > 1.05,
+            "interference should inflate the mean, got {}",
+            s.mean
+        );
         assert!(s.max > 1.3);
     }
 
@@ -379,7 +392,10 @@ mod tests {
         let mut rng = seeded_rng(23);
         for _ in 0..500 {
             let sigma = model.sigma(&space.sample(&mut rng));
-            assert!(sigma >= 1e-5 - 1e-12 && sigma <= 1e-2 + 1e-12, "sigma {sigma} out of bounds");
+            assert!(
+                (1e-5 - 1e-12..=1e-2 + 1e-12).contains(&sigma),
+                "sigma {sigma} out of bounds"
+            );
         }
     }
 }

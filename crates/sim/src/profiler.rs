@@ -265,7 +265,9 @@ mod tests {
         let mut profiler = SimulatedProfiler::new(toy_spec(spec_noise), 11);
         let config = Configuration::new(vec![15, 7]);
         let truth = profiler.true_mean(&config);
-        let samples: Vec<f64> = (0..3000).map(|_| profiler.measure(&config).runtime).collect();
+        let samples: Vec<f64> = (0..3000)
+            .map(|_| profiler.measure(&config).runtime)
+            .collect();
         let s = Summary::from_slice(&samples);
         assert!(
             (s.mean - truth).abs() < 0.02 * truth + 0.01,
@@ -280,7 +282,9 @@ mod tests {
         let sample_variance = |factor: f64| {
             let mut profiler = SimulatedProfiler::new(toy_spec(NoiseProfile::moderate()), 13);
             profiler.scale_noise(factor);
-            let xs: Vec<f64> = (0..800).map(|_| profiler.measure(&config).runtime).collect();
+            let xs: Vec<f64> = (0..800)
+                .map(|_| profiler.measure(&config).runtime)
+                .collect();
             Summary::from_slice(&xs).variance
         };
         assert!(sample_variance(4.0) > sample_variance(1.0));

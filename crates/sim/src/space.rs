@@ -187,10 +187,7 @@ impl ParameterSpace {
     /// Total number of distinct configurations as a floating-point number
     /// (the spaces in the paper reach 1.33e27, far beyond `u64`).
     pub fn cardinality_f64(&self) -> f64 {
-        self.params
-            .iter()
-            .map(|p| p.cardinality() as f64)
-            .product()
+        self.params.iter().map(|p| p.cardinality() as f64).product()
     }
 
     /// The configuration with every parameter at its minimum (the untuned
@@ -235,7 +232,11 @@ impl ParameterSpace {
     /// per kernel (§4.5). Distinctness is enforced by rejection, which is
     /// cheap because the spaces are many orders of magnitude larger than the
     /// requested sample.
-    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Configuration> {
+    pub fn sample_distinct<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        count: usize,
+    ) -> Vec<Configuration> {
         let mut seen = std::collections::HashSet::with_capacity(count);
         let mut out = Vec::with_capacity(count);
         // Bound the loop to avoid spinning forever on tiny spaces.
@@ -369,7 +370,10 @@ mod tests {
         assert!(space.validate(&Configuration::new(vec![1, 0])).is_ok());
         assert_eq!(
             space.validate(&Configuration::new(vec![1])),
-            Err(SimError::ArityMismatch { expected: 2, actual: 1 })
+            Err(SimError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            })
         );
         assert_eq!(
             space.validate(&Configuration::new(vec![4, 0])),

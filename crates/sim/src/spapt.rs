@@ -80,9 +80,7 @@ impl SpaptKernel {
     /// Parses a benchmark name (case-insensitive).
     pub fn from_name(name: &str) -> Option<Self> {
         let lower = name.to_ascii_lowercase();
-        SpaptKernel::all()
-            .into_iter()
-            .find(|k| k.name() == lower)
+        SpaptKernel::all().into_iter().find(|k| k.name() == lower)
     }
 }
 
@@ -134,38 +132,48 @@ pub fn spapt_kernel(kernel: SpaptKernel) -> KernelSpec {
             // Table 1: search space 3.78e14; Table 2: mean var 2.34e-3, max 0.14.
             let mut params = unrolls("i", 9);
             params.push(ParamSpec::cache_tile("T_j"));
-            KernelSpec::new("adi", params, 2.1, 2.0, calibrated_noise(3.0e-5, 0.12, 0.04))
-                .expect("non-empty parameter list")
-                .with_surface_seed(101)
-                // Figure 2: flat near 2.1 s, climbing to ~3.1 s past unroll 10.
-                .with_shape_override(
-                    0,
-                    EffectShape::RisingPlateau {
-                        threshold: 0.33,
-                        steepness: 14.0,
-                        amplitude: 0.48,
-                    },
-                )
+            KernelSpec::new(
+                "adi",
+                params,
+                2.1,
+                2.0,
+                calibrated_noise(3.0e-5, 0.12, 0.04),
+            )
+            .expect("non-empty parameter list")
+            .with_surface_seed(101)
+            // Figure 2: flat near 2.1 s, climbing to ~3.1 s past unroll 10.
+            .with_shape_override(
+                0,
+                EffectShape::RisingPlateau {
+                    threshold: 0.33,
+                    steepness: 14.0,
+                    amplitude: 0.48,
+                },
+            )
         }
         SpaptKernel::Atax => {
             let mut params = unrolls("i", 7);
             params.push(ParamSpec::cache_tile("T_i"));
             params.push(ParamSpec::cache_tile("T_j"));
-            KernelSpec::new("atax", params, 1.2, 1.2, calibrated_noise(3.0e-5, 0.06, 0.05))
-                .expect("non-empty parameter list")
-                .with_surface_seed(102)
-        }
-        SpaptKernel::Bicgkernel => {
             KernelSpec::new(
-                "bicgkernel",
-                unrolls("i", 6),
-                0.9,
-                0.8,
-                calibrated_noise(1.5e-5, 0.07, 0.05),
+                "atax",
+                params,
+                1.2,
+                1.2,
+                calibrated_noise(3.0e-5, 0.06, 0.05),
             )
             .expect("non-empty parameter list")
-            .with_surface_seed(103)
+            .with_surface_seed(102)
         }
+        SpaptKernel::Bicgkernel => KernelSpec::new(
+            "bicgkernel",
+            unrolls("i", 6),
+            0.9,
+            0.8,
+            calibrated_noise(1.5e-5, 0.07, 0.05),
+        )
+        .expect("non-empty parameter list")
+        .with_surface_seed(103),
         SpaptKernel::Correlation => {
             // Table 2: by far the noisiest kernel (mean var 0.42, max 8.02).
             let mut params = unrolls("i", 9);
@@ -205,75 +213,73 @@ pub fn spapt_kernel(kernel: SpaptKernel) -> KernelSpec {
             .expect("non-empty parameter list")
             .with_surface_seed(106)
         }
-        SpaptKernel::Hessian => {
-            KernelSpec::new(
-                "hessian",
-                unrolls("i", 5),
-                0.1,
-                0.4,
-                calibrated_noise(5.0e-6, 4.7e-3, 0.03),
-            )
-            .expect("non-empty parameter list")
-            .with_surface_seed(107)
-        }
-        SpaptKernel::Jacobi => {
-            KernelSpec::new(
-                "jacobi",
-                unrolls("i", 5),
-                1.0,
-                0.7,
-                calibrated_noise(1.6e-5, 0.1, 0.05),
-            )
-            .expect("non-empty parameter list")
-            .with_surface_seed(108)
-        }
-        SpaptKernel::Lu => {
-            KernelSpec::new(
-                "lu",
-                unrolls("i", 6),
-                0.2,
-                0.5,
-                calibrated_noise(4.0e-6, 3.5e-3, 0.02),
-            )
-            .expect("non-empty parameter list")
-            .with_surface_seed(109)
-        }
+        SpaptKernel::Hessian => KernelSpec::new(
+            "hessian",
+            unrolls("i", 5),
+            0.1,
+            0.4,
+            calibrated_noise(5.0e-6, 4.7e-3, 0.03),
+        )
+        .expect("non-empty parameter list")
+        .with_surface_seed(107),
+        SpaptKernel::Jacobi => KernelSpec::new(
+            "jacobi",
+            unrolls("i", 5),
+            1.0,
+            0.7,
+            calibrated_noise(1.6e-5, 0.1, 0.05),
+        )
+        .expect("non-empty parameter list")
+        .with_surface_seed(108),
+        SpaptKernel::Lu => KernelSpec::new(
+            "lu",
+            unrolls("i", 6),
+            0.2,
+            0.5,
+            calibrated_noise(4.0e-6, 3.5e-3, 0.02),
+        )
+        .expect("non-empty parameter list")
+        .with_surface_seed(109),
         SpaptKernel::Mm => {
             // Figure 1: the i1 × i2 unroll plane of matrix multiplication.
             let mut params = unrolls("i", 5);
             params.push(ParamSpec::cache_tile("T_i"));
             params.push(ParamSpec::cache_tile("T_j"));
-            KernelSpec::new("mm", params, 0.08, 0.3, calibrated_noise(1.7e-5, 0.012, 0.03))
-                .expect("non-empty parameter list")
-                .with_surface_seed(110)
-                .with_shape_override(
-                    0,
-                    EffectShape::RisingPlateau {
-                        threshold: 0.45,
-                        steepness: 10.0,
-                        amplitude: 0.30,
-                    },
-                )
-                .with_shape_override(
-                    1,
-                    EffectShape::Valley {
-                        optimum: 0.35,
-                        depth: 0.05,
-                        penalty: 0.25,
-                    },
-                )
-        }
-        SpaptKernel::Mvt => {
             KernelSpec::new(
-                "mvt",
-                unrolls("i", 5),
-                0.03,
-                0.2,
-                calibrated_noise(3.0e-6, 9.0e-4, 0.02),
+                "mm",
+                params,
+                0.08,
+                0.3,
+                calibrated_noise(1.7e-5, 0.012, 0.03),
             )
             .expect("non-empty parameter list")
-            .with_surface_seed(111)
+            .with_surface_seed(110)
+            .with_shape_override(
+                0,
+                EffectShape::RisingPlateau {
+                    threshold: 0.45,
+                    steepness: 10.0,
+                    amplitude: 0.30,
+                },
+            )
+            .with_shape_override(
+                1,
+                EffectShape::Valley {
+                    optimum: 0.35,
+                    depth: 0.05,
+                    penalty: 0.25,
+                },
+            )
         }
+        SpaptKernel::Mvt => KernelSpec::new(
+            "mvt",
+            unrolls("i", 5),
+            0.03,
+            0.2,
+            calibrated_noise(3.0e-6, 9.0e-4, 0.02),
+        )
+        .expect("non-empty parameter list")
+        .with_surface_seed(111),
     }
 }
 
@@ -294,7 +300,8 @@ mod tests {
         assert_eq!(kernels.len(), 11);
         let names: std::collections::HashSet<_> = kernels.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), 11);
-        let seeds: std::collections::HashSet<_> = kernels.iter().map(|k| k.surface_seed()).collect();
+        let seeds: std::collections::HashSet<_> =
+            kernels.iter().map(|k| k.surface_seed()).collect();
         assert_eq!(seeds.len(), 11);
     }
 
@@ -361,8 +368,14 @@ mod tests {
         }
         let low = Summary::from_slice(&low_end).mean;
         let high = Summary::from_slice(&high_end).mean;
-        assert!(low < 2.4, "low-unroll plateau should sit near 2.1 s, got {low}");
-        assert!(high > low + 0.7, "high unroll should climb by ~1 s, got {high} vs {low}");
+        assert!(
+            low < 2.4,
+            "low-unroll plateau should sit near 2.1 s, got {low}"
+        );
+        assert!(
+            high > low + 0.7,
+            "high unroll should climb by ~1 s, got {high} vs {low}"
+        );
     }
 
     #[test]

@@ -266,8 +266,12 @@ mod tests {
     use crate::space::{ParamSpec, ParameterSpace};
 
     fn unroll_space(dim: usize) -> ParameterSpace {
-        ParameterSpace::new((0..dim).map(|i| ParamSpec::unroll(format!("u{i}"))).collect())
-            .unwrap()
+        ParameterSpace::new(
+            (0..dim)
+                .map(|i| ParamSpec::unroll(format!("u{i}")))
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -297,7 +301,10 @@ mod tests {
             let c = space.sample(&mut rng);
             let y = surface.true_mean(&c);
             assert!(y > 0.0);
-            assert!(y < 2.0 * 6.0, "relative effects should stay moderate, got {y}");
+            assert!(
+                y < 2.0 * 6.0,
+                "relative effects should stay moderate, got {y}"
+            );
         }
     }
 
@@ -313,8 +320,14 @@ mod tests {
         let surface = ResponseSurface::new(&space, 2.1, 5, &[(0, shape)]);
         let low = surface.true_mean(&Configuration::new(vec![2]));
         let high = surface.true_mean(&Configuration::new(vec![30]));
-        assert!(low < 2.25, "low unroll should stay near the base runtime, got {low}");
-        assert!(high > 2.9, "high unroll should climb towards ~3.1 s, got {high}");
+        assert!(
+            low < 2.25,
+            "low unroll should stay near the base runtime, got {low}"
+        );
+        assert!(
+            high > 2.9,
+            "high unroll should climb towards ~3.1 s, got {high}"
+        );
         // Monotone non-decreasing along the sweep.
         let mut prev = 0.0;
         for u in 1..=30u32 {

@@ -93,8 +93,8 @@ impl Cholesky {
         let mut z = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.factor.get(i, k) * z[k];
+            for (k, zk) in z.iter().enumerate().take(i) {
+                sum -= self.factor.get(i, k) * zk;
             }
             z[i] = sum / self.factor.get(i, i);
         }
@@ -102,8 +102,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = z[i];
-            for k in (i + 1)..n {
-                sum -= self.factor.get(k, i) * x[k];
+            for (k, xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.factor.get(k, i) * xk;
             }
             x[i] = sum / self.factor.get(i, i);
         }
@@ -130,8 +130,8 @@ impl Cholesky {
         let mut z = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.factor.get(i, k) * z[k];
+            for (k, zk) in z.iter().enumerate().take(i) {
+                sum -= self.factor.get(i, k) * zk;
             }
             z[i] = sum / self.factor.get(i, i);
         }

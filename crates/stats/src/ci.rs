@@ -180,7 +180,9 @@ mod tests {
 
     #[test]
     fn more_observations_shrink_the_interval() {
-        let narrow: Vec<f64> = (0..35).map(|i| 10.0 + 0.1 * ((i % 5) as f64 - 2.0)).collect();
+        let narrow: Vec<f64> = (0..35)
+            .map(|i| 10.0 + 0.1 * ((i % 5) as f64 - 2.0))
+            .collect();
         let wide = &narrow[..5];
         let ci_narrow = confidence_interval(&narrow, 0.95).unwrap();
         let ci_wide = confidence_interval(wide, 0.95).unwrap();
@@ -189,10 +191,7 @@ mod tests {
 
     #[test]
     fn rejects_invalid_inputs() {
-        assert_eq!(
-            confidence_interval(&[], 0.95),
-            Err(StatsError::EmptyInput)
-        );
+        assert_eq!(confidence_interval(&[], 0.95), Err(StatsError::EmptyInput));
         assert_eq!(
             confidence_interval(&[1.0, 2.0], 1.0),
             Err(StatsError::InvalidConfidenceLevel)

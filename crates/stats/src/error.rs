@@ -149,17 +149,19 @@ mod tests {
     #[test]
     fn geometric_mean_of_speedups() {
         // Example from the paper's shape: a mix of small and large speed-ups.
-        let speedups = [0.29, 13.93, 3.59, 7.07, 23.52, 26.0, 3.69, 3.55, 3.62, 1.11, 1.18];
+        let speedups = [
+            0.29, 13.93, 3.59, 7.07, 23.52, 26.0, 3.69, 3.55, 3.62, 1.11, 1.18,
+        ];
         let gm = geometric_mean(&speedups).unwrap();
-        assert!(gm > 3.0 && gm < 5.0, "geometric mean {gm} out of expected band");
+        assert!(
+            gm > 3.0 && gm < 5.0,
+            "geometric mean {gm} out of expected band"
+        );
     }
 
     #[test]
     fn geometric_mean_rejects_nonpositive() {
-        assert_eq!(
-            geometric_mean(&[1.0, 0.0]),
-            Err(StatsError::NonFiniteInput)
-        );
+        assert_eq!(geometric_mean(&[1.0, 0.0]), Err(StatsError::NonFiniteInput));
         assert_eq!(geometric_mean(&[]), Err(StatsError::EmptyInput));
     }
 

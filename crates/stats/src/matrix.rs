@@ -101,7 +101,10 @@ impl Matrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -111,7 +114,10 @@ impl Matrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -181,7 +187,10 @@ impl Matrix {
     ///
     /// Panics if the matrix is not square.
     pub fn add_diagonal(&mut self, value: f64) {
-        assert_eq!(self.rows, self.cols, "add_diagonal requires a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "add_diagonal requires a square matrix"
+        );
         for i in 0..self.rows {
             self.data[i * self.cols + i] += value;
         }
@@ -259,7 +268,10 @@ mod tests {
         let b = Matrix::zeros(2, 2);
         assert!(matches!(
             a.matmul(&b),
-            Err(StatsError::DimensionMismatch { expected: 3, actual: 2 })
+            Err(StatsError::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            })
         ));
     }
 

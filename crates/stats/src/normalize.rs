@@ -162,7 +162,11 @@ mod tests {
             let column: Vec<f64> = z.iter().map(|r| r[j]).collect();
             let s = Summary::from_slice(&column);
             assert!(s.mean.abs() < 1e-12, "column {j} mean {}", s.mean);
-            assert!((s.variance - 1.0).abs() < 1e-12, "column {j} var {}", s.variance);
+            assert!(
+                (s.variance - 1.0).abs() < 1e-12,
+                "column {j} var {}",
+                s.variance
+            );
         }
     }
 

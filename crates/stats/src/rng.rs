@@ -56,14 +56,18 @@ mod tests {
 
     #[test]
     fn same_seed_gives_same_stream() {
-        let a: Vec<u64> = (0..16).map({
-            let mut rng = seeded_rng(42);
-            move |_| rng.gen()
-        }).collect();
-        let b: Vec<u64> = (0..16).map({
-            let mut rng = seeded_rng(42);
-            move |_| rng.gen()
-        }).collect();
+        let a: Vec<u64> = (0..16)
+            .map({
+                let mut rng = seeded_rng(42);
+                move |_| rng.gen()
+            })
+            .collect();
+        let b: Vec<u64> = (0..16)
+            .map({
+                let mut rng = seeded_rng(42);
+                move |_| rng.gen()
+            })
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -63,7 +63,10 @@ pub fn split_indices<R: Rng + ?Sized>(
     population: usize,
     first: usize,
 ) -> (Vec<usize>, Vec<usize>) {
-    assert!(first <= population, "cannot take {first} of {population} items");
+    assert!(
+        first <= population,
+        "cannot take {first} of {population} items"
+    );
     let mut all: Vec<usize> = (0..population).collect();
     all.shuffle(rng);
     let second = all.split_off(first);

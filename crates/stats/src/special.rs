@@ -28,14 +28,14 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
     // Lanczos coefficients for g = 7.
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -62,7 +62,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 ///
 /// Panics if `a <= 0`, `b <= 0`, or `x` lies outside `[0, 1]`.
 pub fn betainc_regularized(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "betainc requires positive shape parameters");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "betainc requires positive shape parameters"
+    );
     assert!((0.0..=1.0).contains(&x), "betainc requires x in [0, 1]");
     if x == 0.0 {
         return 0.0;
@@ -200,7 +203,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];

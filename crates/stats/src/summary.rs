@@ -148,8 +148,8 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -276,7 +276,10 @@ pub fn quantile(values: &[f64], q: f64) -> Result<f64> {
         return Err(StatsError::InvalidConfidenceLevel);
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value in quantile input"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("non-finite value in quantile input")
+    });
     let pos = q * (sorted.len() - 1) as f64;
     let lower = pos.floor() as usize;
     let upper = pos.ceil() as usize;

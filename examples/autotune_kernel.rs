@@ -81,8 +81,10 @@ fn main() -> Result<(), CoreError> {
     println!("\ntop predicted configurations (verified with 5 runs each):");
     let mut best_measured = baseline_runtime;
     for (predicted, config) in scored.iter().take(5) {
-        let measured: f64 =
-            (0..5).map(|_| profiler.measure(config).runtime).sum::<f64>() / 5.0;
+        let measured: f64 = (0..5)
+            .map(|_| profiler.measure(config).runtime)
+            .sum::<f64>()
+            / 5.0;
         best_measured = best_measured.min(measured);
         println!("  {config} predicted {predicted:.4} s, measured {measured:.4} s");
     }

@@ -3,28 +3,51 @@
 //! Reproduces, for a single benchmark, the comparison behind Table 1 and
 //! Figure 6: the fixed 35-observation baseline, the single-observation plan,
 //! and the paper's variable-observation (sequential analysis) plan, all
-//! driven by the same ALC active learner over dynamic trees.
+//! driven by the same ALC active learner over any surrogate family.
 //!
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example compare_sampling_plans [kernel]
+//! cargo run --release --example compare_sampling_plans [kernel] [model]
 //! ```
+//!
+//! where `model` is one of `dynatree` (default), `cart`, `gp`, `knn`, `mean`.
 
 use alic::core::experiment::{compare_plans, ComparisonConfig};
 use alic::core::prelude::*;
 use alic::sim::spapt::{spapt_kernel, SpaptKernel};
 
 fn main() -> Result<(), CoreError> {
-    let kernel_name = std::env::args().nth(1).unwrap_or_else(|| "jacobi".to_string());
-    let kernel = SpaptKernel::from_name(&kernel_name).unwrap_or(SpaptKernel::Jacobi);
+    let kernel = match std::env::args().nth(1) {
+        None => SpaptKernel::Jacobi,
+        Some(name) => SpaptKernel::from_name(&name).unwrap_or_else(|| {
+            eprintln!("unknown kernel '{name}'");
+            std::process::exit(2);
+        }),
+    };
+    let model = std::env::args().nth(2).map(|name| {
+        SurrogateSpec::from_name(&name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown model '{name}' (expected one of: {})",
+                SurrogateSpec::names().join(", ")
+            );
+            std::process::exit(2);
+        })
+    });
     let spec = spapt_kernel(kernel);
-    println!("comparing sampling plans on {}\n", spec.name());
 
-    let config = ComparisonConfig {
+    let mut config = ComparisonConfig {
         repetitions: 3,
         ..ComparisonConfig::laptop_scale()
     };
+    if let Some(model) = model {
+        config = config.with_model(model);
+    }
+    println!(
+        "comparing sampling plans on {} with the {} surrogate\n",
+        spec.name(),
+        config.model
+    );
     let outcome = compare_plans(&spec, &config)?;
 
     println!("plan                     mean cost (s)  best RMSE (s)  obs/example");

@@ -21,7 +21,10 @@ use alic::sim::spapt::{spapt_kernel, SpaptKernel};
 
 fn main() -> Result<(), CoreError> {
     let base = spapt_kernel(SpaptKernel::Jacobi);
-    println!("noise robustness on {} (variable-observation plan)\n", base.name());
+    println!(
+        "noise robustness on {} (variable-observation plan)\n",
+        base.name()
+    );
     println!("noise scale  distinct examples  obs/example  final RMSE (s)  cost (s)");
     println!("-------------------------------------------------------------------------");
 

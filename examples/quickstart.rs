@@ -82,8 +82,14 @@ fn main() -> Result<(), CoreError> {
         .test_indices()
         .iter()
         .min_by(|&&a, &&b| {
-            let pa = model.predict(&dataset.features(a)).map(|p| p.mean).unwrap_or(f64::MAX);
-            let pb = model.predict(&dataset.features(b)).map(|p| p.mean).unwrap_or(f64::MAX);
+            let pa = model
+                .predict(&dataset.features(a))
+                .map(|p| p.mean)
+                .unwrap_or(f64::MAX);
+            let pb = model
+                .predict(&dataset.features(b))
+                .map(|p| p.mean)
+                .unwrap_or(f64::MAX);
             pa.partial_cmp(&pb).expect("finite predictions")
         })
         .copied()

@@ -6,7 +6,7 @@ use alic::data::dataset::{Dataset, DatasetConfig};
 use alic::model::dynatree::{DynaTree, DynaTreeConfig};
 use alic::model::SurrogateModel;
 use alic::sim::noise::NoiseProfile;
-use alic::sim::profiler::{Profiler, SimulatedProfiler};
+use alic::sim::profiler::SimulatedProfiler;
 use alic::sim::space::ParamSpec;
 use alic::sim::spapt::{spapt_kernel, SpaptKernel};
 use alic::sim::KernelSpec;
@@ -207,16 +207,22 @@ fn model_predictions_vary_across_the_space_after_learning() {
         seed: 23,
         ..Default::default()
     });
-    ActiveLearner::new(learner_config(SamplingPlan::sequential(8), 150), &mut profiler)
-        .run(&mut model, &dataset, &split)
-        .unwrap();
+    ActiveLearner::new(
+        learner_config(SamplingPlan::sequential(8), 150),
+        &mut profiler,
+    )
+    .run(&mut model, &dataset, &split)
+    .unwrap();
     let predictions: Vec<f64> = split
         .test_indices()
         .iter()
         .map(|&i| model.predict(&dataset.features(i)).unwrap().mean)
         .collect();
     let min = predictions.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = predictions.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = predictions
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     assert!(
         max - min > 0.05,
         "a useful model must differentiate configurations (spread {:.4})",

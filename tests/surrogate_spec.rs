@@ -1,0 +1,133 @@
+//! Integration tests of the model-agnostic experiment layer: the full
+//! Table 1 / Figure 6 protocol must run against any surrogate family
+//! selected through a [`SurrogateSpec`], not just the paper's dynamic tree.
+
+use alic::core::experiment::{compare_plans, ComparisonOutcome};
+use alic::core::prelude::*;
+use alic::experiments::Scale;
+use alic::model::SurrogateSpec;
+use alic::sim::spapt::{spapt_kernel, SpaptKernel};
+
+fn quick_outcome(model: SurrogateSpec) -> ComparisonOutcome {
+    let config = Scale::Quick.comparison_config_for(model);
+    compare_plans(&spapt_kernel(SpaptKernel::Mvt), &config)
+        .unwrap_or_else(|e| panic!("{} comparison failed: {e}", config.model))
+}
+
+fn assert_protocol_invariants(model: SurrogateSpec, outcome: &ComparisonOutcome) {
+    assert_eq!(outcome.kernel, "mvt");
+    assert_eq!(
+        outcome.plans.len(),
+        3,
+        "{model}: expected the paper's three plans"
+    );
+    for plan in &outcome.plans {
+        // Non-empty averaged curves on the common cost grid.
+        assert!(
+            !plan.averaged.costs.is_empty(),
+            "{model}/{}: averaged curve is empty",
+            plan.plan.label()
+        );
+        assert_eq!(plan.averaged.costs.len(), plan.averaged.mean_rmse.len());
+        assert!(
+            plan.averaged.mean_rmse.iter().all(|r| r.is_finite()),
+            "{model}/{}: non-finite averaged RMSE",
+            plan.plan.label()
+        );
+        // Monotone cost ledgers: profiling cost only ever accumulates.
+        for run in &plan.runs {
+            let costs: Vec<f64> = run.curve.points().iter().map(|p| p.cost_seconds).collect();
+            assert!(
+                costs.windows(2).all(|w| w[1] >= w[0]),
+                "{model}/{}: cost curve decreased",
+                plan.plan.label()
+            );
+            assert!(run.ledger.total_seconds() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn quick_scale_comparison_works_with_dynatree() {
+    let model = SurrogateSpec::from_name("dynatree").unwrap();
+    let outcome = quick_outcome(model);
+    assert_protocol_invariants(model, &outcome);
+}
+
+#[test]
+fn quick_scale_comparison_works_with_cart() {
+    let model = SurrogateSpec::from_name("cart").unwrap();
+    let outcome = quick_outcome(model);
+    assert_protocol_invariants(model, &outcome);
+}
+
+#[test]
+fn dynatree_and_cart_explore_the_space_differently() {
+    // The two tree families share the protocol but not the model: their
+    // selected examples (and therefore their cost ledgers) must not be
+    // byte-identical copies of each other.
+    let dynatree = quick_outcome(SurrogateSpec::from_name("dynatree").unwrap());
+    let cart = quick_outcome(SurrogateSpec::from_name("cart").unwrap());
+    let sequential_costs = |outcome: &ComparisonOutcome| -> Vec<f64> {
+        outcome
+            .plans
+            .iter()
+            .find(|p| p.plan.allows_revisits())
+            .expect("sequential plan present")
+            .runs
+            .iter()
+            .map(|r| r.ledger.total_seconds())
+            .collect()
+    };
+    assert_ne!(sequential_costs(&dynatree), sequential_costs(&cart));
+}
+
+#[test]
+fn spec_driven_learner_matches_concrete_model_runs() {
+    // Building through the spec layer must not change learner behaviour:
+    // a boxed dyn model from the spec and the concrete model with the same
+    // configuration and seeds produce identical runs.
+    use alic::data::dataset::{Dataset, DatasetConfig};
+    use alic::model::dynatree::{DynaTree, DynaTreeConfig};
+    use alic::sim::profiler::SimulatedProfiler;
+
+    let spec_kernel = spapt_kernel(SpaptKernel::Mvt);
+    let mut dataset_profiler = SimulatedProfiler::new(spec_kernel.clone(), 1);
+    let dataset = Dataset::generate(
+        &mut dataset_profiler,
+        &DatasetConfig {
+            configurations: 150,
+            observations: 5,
+            seed: 2,
+        },
+    );
+    let split = dataset.split(110, 3);
+    let learner_config = LearnerConfig {
+        initial_examples: 4,
+        initial_observations: 5,
+        candidates_per_iteration: 20,
+        max_iterations: 25,
+        evaluate_every: 5,
+        plan: SamplingPlan::sequential(5),
+        ..Default::default()
+    };
+    let tree_config = DynaTreeConfig {
+        particles: 30,
+        seed: 9,
+        ..Default::default()
+    };
+
+    let mut profiler = SimulatedProfiler::new(spec_kernel.clone(), 17);
+    let mut concrete = DynaTree::new(tree_config);
+    let concrete_run = ActiveLearner::new(learner_config, &mut profiler)
+        .run(&mut concrete, &dataset, &split)
+        .unwrap();
+
+    let mut profiler = SimulatedProfiler::new(spec_kernel, 17);
+    let mut boxed = SurrogateSpec::DynaTree(tree_config).build(9);
+    let boxed_run = ActiveLearner::new(learner_config, &mut profiler)
+        .run(boxed.as_mut(), &dataset, &split)
+        .unwrap();
+
+    assert_eq!(concrete_run, boxed_run);
+}

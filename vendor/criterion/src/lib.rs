@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `iter`, `iter_batched`) backed by a simple wall-clock
+//! loop: a warm-up call followed by `sample_size` timed iterations, reporting
+//! the mean time per iteration. When invoked with `--test` (as `cargo test`
+//! does for `harness = false` bench targets) every benchmark body runs exactly
+//! once so the target doubles as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup values.
+    SmallInput,
+    /// Large per-iteration setup values.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / self.iterations.max(1) as u32);
+    }
+
+    /// Times `routine` with a fresh `setup` value per call, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<S, O, Setup, R>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: R,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = Some(total / self.iterations.max(1) as u32);
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+    smoke_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness-less bench targets with `--test`; run
+        // each body once there so benches double as smoke tests.
+        let smoke_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            smoke_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let report = run_one(self.iterations(None), &mut f);
+        println!("bench {id}: {report}");
+        self
+    }
+
+    fn iterations(&self, group_override: Option<u64>) -> u64 {
+        if self.smoke_mode {
+            1
+        } else {
+            group_override.unwrap_or(self.sample_size)
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(iterations: u64, f: &mut F) -> String {
+    let mut bencher = Bencher {
+        iterations,
+        mean: None,
+    };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => format!("{:.3?}/iter ({iterations} iterations)", mean),
+        None => "no measurement recorded".to_string(),
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let iterations = self.parent.iterations(self.sample_size);
+        let report = run_one(iterations, &mut f);
+        println!("bench {}/{id}: {report}", self.name);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a shared `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let iterations = self.parent.iterations(self.sample_size);
+        let report = run_one(iterations, &mut |b: &mut Bencher| f(b, input));
+        println!("bench {}/{id}: {report}", self.name);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export matching criterion's path for `black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_mean() {
+        let mut c = Criterion {
+            sample_size: 3,
+            smoke_mode: false,
+        };
+        let mut calls = 0u64;
+        c.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // One warm-up call plus three timed iterations.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_apply_sample_size() {
+        let mut c = Criterion {
+            sample_size: 10,
+            smoke_mode: false,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &_| {
+            b.iter_batched(|| (), |()| calls += 1, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest API this workspace's tests use: the
+//! `proptest!` macro over `name in strategy` parameters, range strategies for
+//! integers and floats, `collection::vec` with fixed or ranged sizes, and the
+//! `prop_assert!` / `prop_assert_eq!` assertions. Instead of shrinking
+//! counter-examples it simply runs a fixed number of deterministic
+//! pseudo-random cases per test (seeded from the test name), which keeps
+//! failures reproducible without any dependencies.
+
+/// Number of pseudo-random cases each `proptest!` test executes.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Deterministic case generator used by the strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from an arbitrary label (the test name).
+    pub fn from_label(label: &str) -> Self {
+        // FNV-1a over the label bytes gives a stable, platform-independent seed.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in label.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value below `bound` (which must be positive).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Generation strategies.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for producing pseudo-random values of one type.
+    pub trait Strategy {
+        /// The type of values produced.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end as i128 - start as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add(rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    impl_float_strategy!(f32, f64);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// A number of elements: fixed or drawn from a range per case.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Always exactly this many elements.
+        Fixed(usize),
+        /// Uniformly between the bounds (upper exclusive).
+        Between(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Fixed(n)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange::Between(r.start, r.end)
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            match *self {
+                SizeRange::Fixed(n) => n,
+                SizeRange::Between(lo, hi) => {
+                    assert!(lo < hi, "empty size range");
+                    lo + rng.below((hi - lo) as u64) as usize
+                }
+            }
+        }
+    }
+
+    /// Strategy producing vectors of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors with `size` elements of `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` item becomes
+/// a `#[test]` that runs [`DEFAULT_CASES`] deterministic pseudo-random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::TestRng::from_label(concat!(module_path!(), "::", stringify!($name)));
+                for __proptest_case in 0..$crate::DEFAULT_CASES {
+                    $( let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut __proptest_rng); )+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(value in 10usize..20, scale in -1.0f64..1.0) {
+            prop_assert!((10..20).contains(&value));
+            prop_assert!((-1.0..1.0).contains(&scale));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(rows in crate::collection::vec(crate::collection::vec(-1e3f64..1e3, 4), 2..20)) {
+            prop_assert!((2..20).contains(&rows.len()));
+            for row in &rows {
+                prop_assert_eq!(row.len(), 4);
+                prop_assert!(row.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_label() {
+        let mut a = crate::TestRng::from_label("x");
+        let mut b = crate::TestRng::from_label("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

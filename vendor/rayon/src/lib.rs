@@ -1,0 +1,307 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small slice of the rayon API this workspace uses —
+//! `par_iter()` / `into_par_iter()` followed by `map`, `filter_map`,
+//! `for_each` or `collect` — on top of `std::thread::scope`. Work items are
+//! handed out through an atomic cursor to however many worker threads
+//! [`current_num_threads`] reports (the `RAYON_NUM_THREADS` environment
+//! variable, else the machine's available parallelism), and results are
+//! written back by index, so **output order is deterministic and independent
+//! of thread count** — exactly the property the experiment harness relies on
+//! for reproducible runs.
+//!
+//! Unlike real rayon there is no work-stealing pool: each adapter evaluates
+//! eagerly when it has a closure to run. That preserves semantics (and
+//! parallel speed-up for the coarse-grained jobs in this workspace) at a
+//! fraction of the complexity.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Programmatic thread-count override; `0` means "no override". A shim
+/// extension (real rayon uses `ThreadPoolBuilder`): tests toggle this instead
+/// of mutating `RAYON_NUM_THREADS`, because `setenv` concurrent with `getenv`
+/// from worker threads is undefined behavior on glibc.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count for subsequent parallel operations;
+/// `0` clears the override and returns to the environment-driven default.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+fn parse_thread_count(value: &str) -> Option<usize> {
+    value.parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Number of worker threads used for parallel operations: the
+/// [`set_num_threads`] override when set, else the `RAYON_NUM_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| parse_thread_count(&v))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            }),
+        n => n,
+    }
+}
+
+std::thread_local! {
+    /// Whether the current thread is one of this shim's workers. Nested
+    /// parallel calls run serially inside a worker instead of spawning a
+    /// fresh full-width thread set, so nesting (kernels → plans×repetitions)
+    /// cannot oversubscribe the machine multiplicatively.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Maps `f` over `items` on the worker threads, preserving input order.
+fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 || IN_WORKER.get() {
+        return items.into_iter().map(f).collect();
+    }
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<U>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let inputs = &inputs;
+    let outputs = &outputs;
+    let cursor = &cursor;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || {
+                IN_WORKER.set(true);
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= inputs.len() {
+                        break;
+                    }
+                    let item = inputs[index]
+                        .lock()
+                        .expect("input slot poisoned")
+                        .take()
+                        .expect("each slot is claimed exactly once");
+                    let result = f(item);
+                    *outputs[index].lock().expect("output slot poisoned") = Some(result);
+                }
+            });
+        }
+    });
+    outputs
+        .iter()
+        .map(|slot| {
+            slot.lock()
+                .expect("output slot poisoned")
+                .take()
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// An eager "parallel iterator": a buffer of items whose combinators run on
+/// the worker threads.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` in parallel, preserving order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Maps and filters in parallel, preserving the order of retained items.
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map(self.items, f);
+    }
+
+    /// Drains the (already computed) items into any collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par_iter!(u32, u64, usize, i32, i64);
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type produced.
+    type Item: Send + 'a;
+
+    /// Returns a parallel iterator over references into `self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let doubled: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice_references() {
+        let words = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lengths: Vec<usize> = words.par_iter().map(|w| w.len()).collect();
+        assert_eq!(lengths, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err() {
+        let ok: Result<Vec<usize>, String> = (0..10usize).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<usize>, String> = (0..10usize)
+            .into_par_iter()
+            .map(|i| {
+                if i == 5 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn filter_map_drops_items() {
+        let evens: Vec<usize> = (0..20usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 2 == 0).then_some(i))
+            .collect();
+        assert_eq!(evens.len(), 10);
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_serially_and_stay_correct() {
+        let result: Vec<Vec<usize>> = (0..8usize)
+            .into_par_iter()
+            .map(|outer| {
+                (0..8usize)
+                    .into_par_iter()
+                    .map(move |inner| outer * 10 + inner)
+                    .collect()
+            })
+            .collect();
+        for (outer, row) in result.iter().enumerate() {
+            assert_eq!(row, &(0..8).map(|i| outer * 10 + i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn respects_thread_count_override() {
+        crate::set_num_threads(1);
+        assert_eq!(crate::current_num_threads(), 1);
+        let single: Vec<usize> = (0..100usize).into_par_iter().map(|i| i + 1).collect();
+        crate::set_num_threads(0);
+        let multi: Vec<usize> = (0..100usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn env_values_parse_strictly() {
+        assert_eq!(crate::parse_thread_count("4"), Some(4));
+        assert_eq!(crate::parse_thread_count("0"), None);
+        assert_eq!(crate::parse_thread_count("four"), None);
+        assert_eq!(crate::parse_thread_count(""), None);
+    }
+}

@@ -1,0 +1,60 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! keeps every `#[derive(Serialize, Deserialize)]` in the workspace compiling
+//! as a *marker*: the traits carry no methods and are blanket-implemented for
+//! every type, and the derive macros (re-exported from the sibling
+//! `serde_derive` shim) generate nothing. Actual serialization in the
+//! workspace is hand-written where needed (see `alic-data::io`), keeping the
+//! door open to swapping the real `serde` back in when a registry is
+//! available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized + for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        #[allow(dead_code)]
+        value: f64,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Shape {
+        #[allow(dead_code)]
+        Unit,
+        #[allow(dead_code)]
+        Struct { field: usize },
+    }
+
+    fn assert_markers<T: Serialize + DeserializeOwned>() {}
+
+    #[test]
+    fn derives_compile_and_blanket_impls_apply() {
+        assert_markers::<Plain>();
+        assert_markers::<Shape>();
+        assert_markers::<Vec<String>>();
+    }
+}

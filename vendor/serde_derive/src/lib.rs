@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate implements `Serialize`/`Deserialize` as blanket
+//! marker traits, so these derive macros have nothing to generate: they exist
+//! purely so that `#[derive(Serialize, Deserialize)]` (and `#[serde(...)]`
+//! helper attributes) keep compiling without network access to crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the trait is blanket-implemented in `serde`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the trait is blanket-implemented in `serde`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
