@@ -18,10 +18,11 @@ fn bench_alm_scoring(c: &mut Criterion) {
     let model = fitted_dynatree(300, 200);
     for &n_candidates in &[100usize, 500] {
         let candidates = candidate_grid(n_candidates);
+        let views: Vec<&[f64]> = candidates.iter().map(Vec::as_slice).collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(n_candidates),
-            &candidates,
-            |b, candidates| b.iter(|| model.alm_scores(black_box(candidates)).unwrap()),
+            &views,
+            |b, views| b.iter(|| model.alm_scores(black_box(views)).unwrap()),
         );
     }
     group.finish();
@@ -31,15 +32,17 @@ fn bench_alc_scoring(c: &mut Criterion) {
     let mut group = c.benchmark_group("alc_scores");
     let model = fitted_dynatree(300, 200);
     let reference = candidate_grid(50);
+    let reference: Vec<&[f64]> = reference.iter().map(Vec::as_slice).collect();
     for &n_candidates in &[100usize, 500] {
         let candidates = candidate_grid(n_candidates);
+        let views: Vec<&[f64]> = candidates.iter().map(Vec::as_slice).collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(n_candidates),
-            &candidates,
-            |b, candidates| {
+            &views,
+            |b, views| {
                 b.iter(|| {
                     model
-                        .alc_scores(black_box(candidates), black_box(&reference))
+                        .alc_scores(black_box(views), black_box(&reference))
                         .unwrap()
                 })
             },

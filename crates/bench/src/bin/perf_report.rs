@@ -1,0 +1,341 @@
+//! Wall-clock performance report for the canonical hot-path workloads.
+//!
+//! Times the workloads that dominate an active-learning run — ALC batch
+//! scoring, dynamic-tree fit and incremental update, and a full small
+//! learner run — and writes a JSON report (schema documented in the
+//! [`alic_bench`] crate docs). The canonical `full` scale carries the pre-PR2
+//! baseline timings measured on the same workloads, so the report states the
+//! speedup of the batched zero-copy pipeline directly.
+//!
+//! ```text
+//! cargo run --release --bin perf_report              # full scale -> BENCH_PR2.json
+//! cargo run --release --bin perf_report -- --scale smoke --out /tmp/smoke.json
+//! ```
+//!
+//! `--scale smoke` (or `ALIC_PERF_SCALE=smoke`) runs tiny versions of every
+//! workload in a few seconds; it exists so CI can assert the harness itself
+//! keeps working. Smoke timings carry no baselines and are not comparable
+//! across machines.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use alic_bench::{bench_dataset, bench_profiler, synthetic_training_data};
+use alic_core::acquisition::Acquisition;
+use alic_core::learner::{ActiveLearner, LearnerConfig};
+use alic_core::plan::SamplingPlan;
+use alic_model::dynatree::{DynaTree, DynaTreeConfig};
+use alic_model::{ActiveSurrogate, SurrogateModel};
+
+/// Pre-PR2 baseline, measured with the same binary on the same machine
+/// (single core, release build, best of N) immediately before the batched
+/// pipeline landed. `None` marks workloads without a recorded baseline.
+const FULL_BASELINES: [(&str, Option<f64>); 4] = [
+    ("alc_scores_500x50_200p", Some(0.006650)),
+    ("dynatree_fit_1000x200p", Some(1.416261)),
+    ("dynatree_update_200x200p", Some(0.595156)),
+    ("learner_run_60it_500c_200p", Some(0.281008)),
+];
+
+struct WorkloadResult {
+    name: String,
+    description: String,
+    seconds: f64,
+    baseline_seconds: Option<f64>,
+}
+
+struct ScaleParams {
+    label: &'static str,
+    /// Training points behind the ALC-scored model.
+    alc_train: usize,
+    particles: usize,
+    candidates: usize,
+    references: usize,
+    fit_points: usize,
+    updates: usize,
+    learner_pool: usize,
+    learner_iterations: usize,
+    learner_candidates: usize,
+    /// Best-of repetitions for the (cheap) scoring workload and the
+    /// (expensive) fit/update/learner workloads respectively.
+    reps_scoring: usize,
+    reps_heavy: usize,
+}
+
+const FULL: ScaleParams = ScaleParams {
+    label: "full",
+    alc_train: 300,
+    particles: 200,
+    candidates: 500,
+    references: 50,
+    fit_points: 1000,
+    updates: 200,
+    learner_pool: 1000,
+    learner_iterations: 60,
+    learner_candidates: 500,
+    reps_scoring: 10,
+    reps_heavy: 3,
+};
+
+const SMOKE: ScaleParams = ScaleParams {
+    label: "smoke",
+    alc_train: 60,
+    particles: 20,
+    candidates: 50,
+    references: 10,
+    fit_points: 80,
+    updates: 20,
+    learner_pool: 150,
+    learner_iterations: 8,
+    learner_candidates: 30,
+    reps_scoring: 2,
+    reps_heavy: 1,
+};
+
+fn grid(n: usize, phase: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                ((i + phase) % 23) as f64 / 22.0,
+                ((i + phase) % 7) as f64 / 6.0,
+            ]
+        })
+        .collect()
+}
+
+fn time_workload(mut f: impl FnMut(), repetitions: usize) -> f64 {
+    // Warm-up once, then report the best of `repetitions` runs.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn run_workloads(params: &ScaleParams) -> Vec<WorkloadResult> {
+    let mut results = Vec::new();
+    // Workload names encode the actual parameters, so a smoke report can
+    // never be mistaken for a canonical one; baselines only attach to the
+    // canonical full-scale names.
+    let baseline = |name: &str| -> Option<f64> {
+        if params.label != "full" {
+            return None;
+        }
+        FULL_BASELINES
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, b)| *b)
+    };
+
+    // 1. ALC batch scoring (the acquisition step of one iteration).
+    {
+        let (xs, ys) = synthetic_training_data(params.alc_train);
+        let mut model = DynaTree::new(DynaTreeConfig {
+            particles: params.particles,
+            seed: 9,
+            ..Default::default()
+        });
+        model.fit(&xs, &ys).unwrap();
+        let candidates = grid(params.candidates, 0);
+        let candidates: Vec<&[f64]> = candidates.iter().map(Vec::as_slice).collect();
+        let reference = grid(params.references, 3);
+        let reference: Vec<&[f64]> = reference.iter().map(Vec::as_slice).collect();
+        let seconds = time_workload(
+            || {
+                std::hint::black_box(model.alc_scores(&candidates, &reference).unwrap());
+            },
+            params.reps_scoring,
+        );
+        let name = format!(
+            "alc_scores_{}x{}_{}p",
+            params.candidates, params.references, params.particles
+        );
+        results.push(WorkloadResult {
+            description: format!(
+                "ALC-score {} candidates against {} references, {} particles",
+                params.candidates, params.references, params.particles
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+    }
+
+    // 2. DynaTree fit at paper-ish scale.
+    {
+        let (xs, ys) = synthetic_training_data(params.fit_points);
+        let seconds = time_workload(
+            || {
+                let mut model = DynaTree::new(DynaTreeConfig {
+                    particles: params.particles,
+                    seed: 9,
+                    ..Default::default()
+                });
+                model.fit(&xs, &ys).unwrap();
+                std::hint::black_box(&model);
+            },
+            params.reps_heavy,
+        );
+        let name = format!("dynatree_fit_{}x{}p", params.fit_points, params.particles);
+        results.push(WorkloadResult {
+            description: format!(
+                "DynaTree fit on {} points with {} particles",
+                params.fit_points, params.particles
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+    }
+
+    // 3. DynaTree incremental updates (the per-iteration model step).
+    {
+        let (xs, ys) = synthetic_training_data(params.fit_points);
+        let mut model = DynaTree::new(DynaTreeConfig {
+            particles: params.particles,
+            seed: 9,
+            ..Default::default()
+        });
+        model.fit(&xs, &ys).unwrap();
+        let updates = params.updates;
+        let seconds = time_workload(
+            || {
+                let mut m = model.clone();
+                for i in 0..updates {
+                    let x = vec![(i % 19) as f64 / 18.0, (i % 5) as f64 / 4.0];
+                    m.update(&x, 1.0 + (i % 3) as f64).unwrap();
+                }
+                std::hint::black_box(&m);
+            },
+            params.reps_heavy,
+        );
+        let name = format!("dynatree_update_{}x{}p", params.updates, params.particles);
+        results.push(WorkloadResult {
+            description: format!(
+                "{} incremental DynaTree updates on a {}-point model",
+                params.updates, params.fit_points
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+    }
+
+    // 4. Full small learner run (Algorithm 1 end to end).
+    {
+        let (dataset, split) = bench_dataset(params.learner_pool);
+        let seconds = time_workload(
+            || {
+                let mut profiler = bench_profiler(11);
+                let config = LearnerConfig {
+                    initial_examples: 5,
+                    initial_observations: 10,
+                    candidates_per_iteration: params.learner_candidates,
+                    max_iterations: params.learner_iterations,
+                    evaluate_every: 15,
+                    acquisition: Acquisition::Alc { reference_size: 50 },
+                    plan: SamplingPlan::sequential(10),
+                    ..Default::default()
+                };
+                let mut learner = ActiveLearner::new(config, &mut profiler);
+                let mut model = DynaTree::new(DynaTreeConfig {
+                    particles: params.particles,
+                    seed: 5,
+                    ..Default::default()
+                });
+                std::hint::black_box(learner.run(&mut model, &dataset, &split).unwrap());
+            },
+            params.reps_heavy,
+        );
+        let name = format!(
+            "learner_run_{}it_{}c_{}p",
+            params.learner_iterations, params.learner_candidates, params.particles
+        );
+        results.push(WorkloadResult {
+            description: format!(
+                "full learner run: {} iterations, {} candidates, {} particles",
+                params.learner_iterations, params.learner_candidates, params.particles
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+    }
+
+    results
+}
+
+fn render_json(params: &ScaleParams, results: &[WorkloadResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"alic-perf-report/v1\",");
+    let _ = writeln!(out, "  \"pr\": 2,");
+    let _ = writeln!(out, "  \"scale\": \"{}\",", params.label);
+    let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
+    out.push_str("  \"workloads\": [\n");
+    for (i, w) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(out, "      \"description\": \"{}\",", w.description);
+        let _ = writeln!(out, "      \"seconds\": {:.6},", w.seconds);
+        match w.baseline_seconds {
+            Some(b) => {
+                let _ = writeln!(out, "      \"baseline_seconds\": {b:.6},");
+                let _ = writeln!(out, "      \"speedup\": {:.2}", b / w.seconds);
+            }
+            None => {
+                let _ = writeln!(out, "      \"baseline_seconds\": null,");
+                let _ = writeln!(out, "      \"speedup\": null");
+            }
+        }
+        out.push_str("    }");
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut scale = std::env::var("ALIC_PERF_SCALE").unwrap_or_else(|_| "full".to_string());
+    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().expect("--scale needs a value"),
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_report [--scale full|smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let params = match scale.as_str() {
+        "full" => &FULL,
+        "smoke" | "quick" => &SMOKE,
+        other => {
+            eprintln!("unknown scale: {other} (expected full or smoke)");
+            std::process::exit(2);
+        }
+    };
+
+    let results = run_workloads(params);
+    for w in &results {
+        match w.baseline_seconds {
+            Some(b) => println!(
+                "{}: {:.6} s (baseline {:.6} s, speedup {:.2}x)",
+                w.name,
+                w.seconds,
+                b,
+                b / w.seconds
+            ),
+            None => println!("{}: {:.6} s", w.name, w.seconds),
+        }
+    }
+    let json = render_json(params, &results);
+    std::fs::write(&out_path, json).expect("report file is writable");
+    println!("wrote {out_path}");
+}

@@ -1,8 +1,43 @@
-//! Shared fixtures for the Criterion benchmark suite.
+//! Shared fixtures for the Criterion benchmark suite and the `perf_report`
+//! binary.
 //!
 //! The benches in `benches/` measure the computational cost of the library
 //! itself (model updates, acquisition scoring, simulator throughput) and of
 //! regenerating each of the paper's tables and figures at a reduced scale.
+//!
+//! # The `perf_report` binary and its schema
+//!
+//! `cargo run --release --bin perf_report` times the canonical hot-path
+//! workloads (ALC batch scoring at the paper's 500-candidate × 50-reference
+//! iteration shape, dynamic-tree fit and incremental update, and a full
+//! small learner run) and writes a JSON report — `BENCH_PR<n>.json` at the
+//! repo root records the trajectory across PRs. `--scale smoke` runs tiny
+//! variants so CI can assert the harness works; `--out PATH` redirects the
+//! report.
+//!
+//! Report schema (`alic-perf-report/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "alic-perf-report/v1",
+//!   "pr": 2,                     // PR the report belongs to
+//!   "scale": "full",             // "full" (canonical) or "smoke" (CI)
+//!   "threads": 1,                // worker threads during the run
+//!   "workloads": [
+//!     {
+//!       "name": "alc_scores_500x50_200p",
+//!       "description": "...",
+//!       "seconds": 0.001207,          // best-of-N wall-clock seconds
+//!       "baseline_seconds": 0.006650, // pre-PR measurement, null if none
+//!       "speedup": 5.51               // baseline / seconds, null if none
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Timings are best-of-N to suppress scheduler noise; `baseline_seconds` is
+//! measured on the same machine immediately before the PR's optimization
+//! lands and is only meaningful at `full` scale.
 
 use alic_data::dataset::{Dataset, DatasetConfig};
 use alic_data::split::TrainTestSplit;

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use alic_model::ActiveSurrogate;
 use alic_stats::rng::Rng as StatsRng;
 use alic_stats::sampling::sample_indices;
+use alic_stats::FeatureMatrix;
 
 use crate::Result;
 
@@ -52,11 +53,13 @@ impl Acquisition {
         }
     }
 
-    /// Selects the index of the best candidate from `candidates` according to
-    /// this strategy.
+    /// Selects the index of the best candidate from `candidates` (zero-copy
+    /// row views, typically gathered from the pool) according to this
+    /// strategy.
     ///
-    /// `pool` is the set of (normalized) feature vectors representing the
-    /// whole decision space; ALC draws its reference set from it.
+    /// `pool` is the flat matrix of (normalized) feature vectors representing
+    /// the whole decision space; ALC draws its reference set from it as row
+    /// views, without copying any features.
     ///
     /// # Errors
     ///
@@ -65,8 +68,8 @@ impl Acquisition {
     pub fn select<M: ActiveSurrogate + ?Sized>(
         &self,
         model: &M,
-        candidates: &[Vec<f64>],
-        pool: &[Vec<f64>],
+        candidates: &[&[f64]],
+        pool: &FeatureMatrix,
         rng: &mut StatsRng,
     ) -> Result<Option<usize>> {
         if candidates.is_empty() {
@@ -74,13 +77,10 @@ impl Acquisition {
         }
         let scores: Vec<f64> = match self {
             Acquisition::Alc { reference_size } => {
-                let reference: Vec<Vec<f64>> = if pool.is_empty() {
+                let reference: Vec<&[f64]> = if pool.is_empty() {
                     Vec::new()
                 } else {
-                    sample_indices(rng, pool.len(), *reference_size)
-                        .into_iter()
-                        .map(|i| pool[i].clone())
-                        .collect()
+                    pool.gather(sample_indices(rng, pool.len(), *reference_size))
                 };
                 model.alc_scores(candidates, &reference)?
             }
@@ -90,15 +90,14 @@ impl Acquisition {
         // Pick the first maximum so that ties favour the earliest candidate.
         // The learner lists fresh (unseen) candidates before revisit
         // candidates, which makes ties resolve towards exploration.
-        let mut best: Option<usize> = None;
-        for (i, score) in scores.iter().enumerate() {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &score) in scores.iter().enumerate() {
             debug_assert!(score.is_finite(), "acquisition scores must be finite");
-            match best {
-                Some(b) if scores[b] >= *score => {}
-                _ => best = Some(i),
+            if best.is_none_or(|(_, b)| score > b) {
+                best = Some((i, score));
             }
         }
-        Ok(best)
+        Ok(best.map(|(i, _)| i))
     }
 }
 
@@ -145,8 +144,9 @@ mod tests {
         model
     }
 
-    fn grid(n: usize) -> Vec<Vec<f64>> {
-        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    fn grid(n: usize) -> FeatureMatrix {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        FeatureMatrix::from_rows(&rows).unwrap()
     }
 
     #[test]
@@ -165,7 +165,7 @@ mod tests {
         let mut rng = seeded_rng(2);
         // Candidate 0 is in the dense quiet region, candidate 1 in the sparse
         // noisy region.
-        let candidates = vec![vec![0.25], vec![0.85]];
+        let candidates: Vec<&[f64]> = vec![&[0.25], &[0.85]];
         for acquisition in [Acquisition::Alm, Acquisition::default_alc()] {
             let choice = acquisition
                 .select(&model, &candidates, &grid(40), &mut rng)
@@ -178,17 +178,38 @@ mod tests {
     fn random_selection_eventually_picks_everything() {
         let model = lopsided_model();
         let mut rng = seeded_rng(3);
-        let candidates = grid(5);
+        let pool = grid(5);
+        let candidates = pool.row_views();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
             if let Some(i) = Acquisition::Random
-                .select(&model, &candidates, &[], &mut rng)
+                .select(&model, &candidates, &FeatureMatrix::new(1), &mut rng)
                 .unwrap()
             {
                 seen.insert(i);
             }
         }
         assert_eq!(seen.len(), candidates.len());
+    }
+
+    #[test]
+    fn ties_favour_the_earliest_candidate() {
+        // A constant-mean model scores every candidate identically, so both
+        // criteria tie everywhere; the argmax must resolve to the earliest
+        // (fresh) candidate. ALC over an empty pool exercises its ALM
+        // fallback through the same argmax.
+        let mut model = alic_model::baseline::ConstantMean::new();
+        model
+            .fit(&[vec![0.0], vec![0.5], vec![1.0]], &[1.0, 2.0, 3.0])
+            .unwrap();
+        let candidates: Vec<&[f64]> = vec![&[0.9], &[0.1], &[0.4]];
+        let mut rng = seeded_rng(4);
+        for acquisition in [Acquisition::Alm, Acquisition::default_alc()] {
+            let choice = acquisition
+                .select(&model, &candidates, &FeatureMatrix::new(1), &mut rng)
+                .unwrap();
+            assert_eq!(choice, Some(0), "{acquisition} must break ties earliest");
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use std::collections::BTreeMap;
 
 use rand::seq::SliceRandom;
+use rand::Rng as _;
 use serde::{Deserialize, Serialize};
 
 use alic_data::dataset::Dataset;
@@ -31,6 +32,7 @@ use alic_sim::profiler::Profiler;
 use alic_stats::error::rmse;
 use alic_stats::rng::{seeded_stream, Rng as StatsRng};
 use alic_stats::summary::OnlineStats;
+use alic_stats::FeatureMatrix;
 
 use crate::acquisition::Acquisition;
 use crate::criteria::CompletionCriteria;
@@ -187,13 +189,12 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
 
         let mut rng: StatsRng = seeded_stream(config.seed, 0xAC71);
 
-        // Pre-compute normalized features for the pool and the test set.
-        let pool_features: Vec<Vec<f64>> = pool.iter().map(|&i| dataset.features(i)).collect();
-        let test_features: Vec<Vec<f64>> = split
-            .test_indices()
-            .iter()
-            .map(|&i| dataset.features(i))
-            .collect();
+        // Pre-compute normalized features for the pool and the test set, in
+        // flat row-major storage. Candidate and reference sets below are
+        // gathered as row views into these matrices, so the hot loop never
+        // clones a feature vector.
+        let pool_features: FeatureMatrix = dataset.features_matrix(&pool);
+        let test_features: FeatureMatrix = dataset.features_matrix(split.test_indices());
         let test_targets: Vec<f64> = split
             .test_indices()
             .iter()
@@ -221,7 +222,7 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
                 ledger.record(&m);
                 stats.push(m.runtime);
             }
-            seed_xs.push(pool_features[pos].clone());
+            seed_xs.push(pool_features.row(pos).to_vec());
             seed_ys.push(stats.mean());
             visited_positions.insert(pos, visited.len());
             visited.push(ExampleRecord {
@@ -242,6 +243,7 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
 
         // --- Main loop (Algorithm 1, lines 6-29). -----------------------------
         let mut unseen: Vec<usize> = positions[config.initial_examples..].to_vec();
+        let mut revisits: Vec<usize> = Vec::new();
         let mut iterations = 0usize;
         while iterations < config.max_iterations {
             if config
@@ -250,38 +252,49 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
             {
                 break;
             }
-            // Candidate set: n_c fresh positions...
-            unseen.shuffle(&mut rng);
-            let fresh = unseen
-                .iter()
-                .copied()
-                .take(config.candidates_per_iteration)
-                .collect::<Vec<_>>();
+            // Candidate set: n_c fresh positions, drawn with a partial
+            // Fisher–Yates over the unseen pool — O(n_c) work instead of the
+            // O(|pool|) full shuffle, on the same RNG stream.
+            let fresh_count = config.candidates_per_iteration.min(unseen.len());
+            for i in 0..fresh_count {
+                let j = rng.gen_range(i..unseen.len());
+                unseen.swap(i, j);
+            }
             // ...plus, for the sequential plan, visited positions that have
             // not yet hit the observation cap (lines 8-11).
-            let mut candidates: Vec<usize> = fresh;
+            revisits.clear();
             if config.plan.allows_revisits() {
                 for (&pos, &record) in &visited_positions {
                     if visited[record].runtimes.count() < config.plan.max_observations() {
-                        candidates.push(pos);
+                        revisits.push(pos);
                     }
                 }
             }
-            if candidates.is_empty() {
+            if fresh_count + revisits.len() == 0 {
                 break;
             }
-            let candidate_features: Vec<Vec<f64>> = candidates
-                .iter()
-                .map(|&pos| pool_features[pos].clone())
-                .collect();
+            // Candidates are zero-copy row views into the pool matrix, fresh
+            // ones first so that score ties resolve towards exploration.
+            let mut candidate_rows: Vec<&[f64]> = Vec::with_capacity(fresh_count + revisits.len());
+            candidate_rows.extend(unseen[..fresh_count].iter().map(|&p| pool_features.row(p)));
+            candidate_rows.extend(revisits.iter().map(|&p| pool_features.row(p)));
             let chosen = config
                 .acquisition
-                .select(model, &candidate_features, &pool_features, &mut rng)?
+                .select(model, &candidate_rows, &pool_features, &mut rng)?
                 .expect("candidate set is non-empty");
-            let position = candidates[chosen];
+            drop(candidate_rows);
+            // A chosen index below `fresh_count` addresses the shuffled
+            // prefix of `unseen` directly, which makes the first-visit test
+            // and the unseen-pool removal below O(1).
+            let first_visit = chosen < fresh_count;
+            let position = if first_visit {
+                unseen[chosen]
+            } else {
+                revisits[chosen - fresh_count]
+            };
             let dataset_index = pool[position];
             let configuration = &dataset.points()[dataset_index].configuration;
-            let features = &pool_features[position];
+            let features = pool_features.row(position);
 
             // Profile the winner according to the sampling plan.
             let observations = config.plan.observations_per_visit();
@@ -297,17 +310,15 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
             model.update(features, y)?;
 
             // Bookkeeping (lines 23-28).
-            let first_visit = !visited_positions.contains_key(&position);
             if first_visit {
                 visited_positions.insert(position, visited.len());
                 visited.push(ExampleRecord {
                     dataset_index,
                     runtimes: batch,
                 });
-                // Remove from the unseen pool.
-                if let Some(idx) = unseen.iter().position(|&p| p == position) {
-                    unseen.swap_remove(idx);
-                }
+                // Remove from the unseen pool: the winner sits at `chosen`
+                // in the shuffled prefix.
+                unseen.swap_remove(chosen);
             } else {
                 let record = visited_positions[&position];
                 visited[record].runtimes.merge(&batch);
@@ -340,16 +351,22 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
 
 /// RMSE of `model` over a test set of normalized features and target mean
 /// runtimes (Equation 1).
+///
+/// Goes through [`predict_batch`](alic_model::SurrogateModel::predict_batch),
+/// so models with a batched (and parallel) predictor — the dynamic tree in
+/// particular — evaluate the whole test set in one call.
 pub fn evaluate_rmse<M: ActiveSurrogate + ?Sized>(
     model: &M,
-    test_features: &[Vec<f64>],
+    test_features: &FeatureMatrix,
     test_targets: &[f64],
 ) -> std::result::Result<f64, CoreError> {
-    let predictions: Vec<f64> = test_features
-        .iter()
-        .map(|x| model.predict(x).map(|p| p.mean))
-        .collect::<std::result::Result<_, _>>()
-        .map_err(CoreError::from)?;
+    let rows = test_features.row_views();
+    let predictions: Vec<f64> = model
+        .predict_batch(&rows)
+        .map_err(CoreError::from)?
+        .into_iter()
+        .map(|p| p.mean)
+        .collect();
     rmse(&predictions, test_targets).map_err(CoreError::from)
 }
 

@@ -8,6 +8,7 @@ use alic_sim::space::Configuration;
 use alic_stats::normalize::Normalizer;
 use alic_stats::rng::seeded_stream;
 use alic_stats::summary::Summary;
+use alic_stats::FeatureMatrix;
 
 use crate::split::TrainTestSplit;
 
@@ -149,6 +150,24 @@ impl Dataset {
         (0..self.len()).map(|i| self.features(i)).collect()
     }
 
+    /// Normalized features of the given points, gathered into flat row-major
+    /// storage — the representation the learner keeps its pool and test sets
+    /// in, so candidate sets can be zero-copy row views.
+    pub fn features_matrix(&self, indices: &[usize]) -> FeatureMatrix {
+        let dim = self.features(0).len();
+        let mut matrix = FeatureMatrix::with_capacity(dim, indices.len());
+        for &i in indices {
+            matrix.push_row(&self.features(i));
+        }
+        matrix
+    }
+
+    /// Normalized features of every point as a flat row-major matrix.
+    pub fn all_features_matrix(&self) -> FeatureMatrix {
+        let indices: Vec<usize> = (0..self.len()).collect();
+        self.features_matrix(&indices)
+    }
+
     /// Normalized feature vector for an arbitrary configuration.
     pub fn features_of(&self, configuration: &Configuration) -> Vec<f64> {
         self.normalizer
@@ -268,6 +287,20 @@ mod tests {
         let direct = dataset.features(7);
         let via_config = dataset.features_of(&dataset.points()[7].configuration);
         assert_eq!(direct, via_config);
+    }
+
+    #[test]
+    fn features_matrix_matches_per_point_features() {
+        let dataset = small_dataset();
+        let indices = vec![3usize, 11, 7, 0];
+        let matrix = dataset.features_matrix(&indices);
+        assert_eq!(matrix.len(), indices.len());
+        for (row, &i) in matrix.rows().zip(&indices) {
+            assert_eq!(row, dataset.features(i).as_slice());
+        }
+        let all = dataset.all_features_matrix();
+        assert_eq!(all.len(), dataset.len());
+        assert_eq!(all.row(5), dataset.features(5).as_slice());
     }
 
     #[test]

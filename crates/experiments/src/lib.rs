@@ -20,6 +20,12 @@
 //! accept `--model <name>` (or the `ALIC_MODEL` environment variable) to run
 //! the whole protocol against any surrogate family of
 //! [`SurrogateSpec`](alic_model::SurrogateSpec) — see [`options`].
+//!
+//! All learner-driven binaries run on the zero-copy batched scoring pipeline
+//! (flat [`FeatureMatrix`](alic_stats::FeatureMatrix) pools, batch
+//! `alc_scores`/`predict_batch`), so their wall-clock cost tracks the
+//! `perf_report` numbers in `BENCH_PR2.json`; results stay bit-identical for
+//! a fixed seed regardless of the worker-thread count.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

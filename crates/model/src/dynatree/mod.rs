@@ -15,6 +15,25 @@
 //! Predictions average the per-particle Student-t posterior predictives, so
 //! both a mean and a variance are available at any point of the space — the
 //! ingredients the ALM/ALC acquisition criteria need (§3.3).
+//!
+//! # Performance
+//!
+//! This module implements the zero-copy batched pipeline the active-learning
+//! loop runs on:
+//!
+//! * Training inputs live in a flat row-major [`FeatureMatrix`] instead of
+//!   one heap allocation per observation.
+//! * [`update`](SurrogateModel::update) is allocation-free on the common
+//!   path: resampling *moves* uniquely surviving particles and clones only
+//!   genuine duplicates, and the weight/resampling workspace is reused
+//!   across updates.
+//! * The batch entry points ([`predict_batch`](SurrogateModel::predict_batch),
+//!   [`alm_scores`](ActiveSurrogate::alm_scores),
+//!   [`alc_scores`](ActiveSurrogate::alc_scores)) flatten every particle's
+//!   tree into a dense traversal array once per call, precompute per-leaf
+//!   contribution tables shared by all candidates, and score candidate
+//!   blocks in parallel with deterministic by-index write-back — results are
+//!   bit-identical to the single-point methods regardless of thread count.
 
 pub mod tree;
 
@@ -22,12 +41,19 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use alic_stats::rng::{seeded_stream, Rng as StatsRng};
+use alic_stats::FeatureMatrix;
+use rayon::prelude::*;
 
 use crate::leaf::{LeafPrior, LeafStats};
 use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
 use crate::{validate_training_set, ModelError, Result};
 
-pub use tree::{ParticleTree, Split};
+pub use tree::{find_leaf_flat, FlatNode, ParticleTree, Split, FLAT_LEAF};
+
+/// Candidates per parallel scoring block. Each block accumulates its scores
+/// independently (per-candidate work is ordered by particle index), so the
+/// block size affects only scheduling granularity, never results.
+const SCORE_BLOCK: usize = 64;
 
 /// Configuration of the dynamic-tree model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,6 +88,23 @@ impl Default for DynaTreeConfig {
     }
 }
 
+/// Reusable per-update workspace: after the first update no buffer here is
+/// ever reallocated, which keeps the particle-learning step allocation-free
+/// on the common path.
+#[derive(Debug, Clone, Default)]
+struct UpdateScratch {
+    /// Per-particle log predictive densities of the new observation.
+    log_weights: Vec<f64>,
+    /// Normalized (shifted, exponentiated) weights.
+    weights: Vec<f64>,
+    /// Systematic-resampling ancestor indices.
+    indices: Vec<usize>,
+    /// Multiplicity of each ancestor in `indices`.
+    counts: Vec<u32>,
+    /// Staging slots used to move surviving particles into their new order.
+    slots: Vec<Option<ParticleTree>>,
+}
+
 /// Particle-learning dynamic-tree regressor.
 ///
 /// See the [module documentation](self) for the algorithm and the crate
@@ -70,11 +113,14 @@ impl Default for DynaTreeConfig {
 pub struct DynaTree {
     config: DynaTreeConfig,
     prior: LeafPrior,
-    xs: Vec<Vec<f64>>,
+    /// Flat row-major training inputs. The placeholder width used before
+    /// [`fit`](SurrogateModel::fit) is never read (`dimension` is `None`).
+    xs: FeatureMatrix,
     ys: Vec<f64>,
     particles: Vec<ParticleTree>,
     rng: StatsRng,
     dimension: Option<usize>,
+    scratch: UpdateScratch,
 }
 
 impl DynaTree {
@@ -83,11 +129,12 @@ impl DynaTree {
         DynaTree {
             config,
             prior: LeafPrior::default(),
-            xs: Vec::new(),
+            xs: FeatureMatrix::new(1),
             ys: Vec::new(),
             particles: Vec::new(),
             rng: seeded_stream(config.seed, 0xD14A),
             dimension: None,
+            scratch: UpdateScratch::default(),
         }
     }
 
@@ -138,35 +185,6 @@ impl DynaTree {
         }
     }
 
-    /// Systematic resampling of particle indices proportionally to the given
-    /// log weights.
-    fn resample_indices(&mut self, log_weights: &[f64]) -> Vec<usize> {
-        let n = log_weights.len();
-        let max = log_weights
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
-        let weights: Vec<f64> = log_weights.iter().map(|w| (w - max).exp()).collect();
-        let total: f64 = weights.iter().sum();
-        if !(total.is_finite()) || total <= 0.0 {
-            return (0..n).collect();
-        }
-        let step = total / n as f64;
-        let start: f64 = self.rng.gen_range(0.0..step);
-        let mut indices = Vec::with_capacity(n);
-        let mut cumulative = weights[0];
-        let mut j = 0;
-        for i in 0..n {
-            let target = start + i as f64 * step;
-            while cumulative < target && j + 1 < n {
-                j += 1;
-                cumulative += weights[j];
-            }
-            indices.push(j);
-        }
-        indices
-    }
-
     /// Proposes a random split of `leaf` in `particle`, returning the split
     /// together with the log marginal likelihood of the resulting children.
     fn propose_split(&mut self, particle: &ParticleTree, leaf: usize) -> Option<(Split, f64)> {
@@ -181,22 +199,30 @@ impl DynaTree {
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
             for &p in points {
-                lo = lo.min(self.xs[p][d]);
-                hi = hi.max(self.xs[p][d]);
+                let v = self.xs.get(p, d);
+                lo = lo.min(v);
+                hi = hi.max(v);
             }
             if hi <= lo {
                 continue;
             }
             let threshold = self.rng.gen_range(lo..hi);
-            let (left, right): (Vec<usize>, Vec<usize>) =
-                points.iter().partition(|&&p| self.xs[p][d] <= threshold);
-            if left.len() < self.config.min_leaf || right.len() < self.config.min_leaf {
+            // Single pass: partition counts and child sufficient statistics
+            // together, without materializing the index or target vectors.
+            let mut left_stats = LeafStats::new();
+            let mut right_stats = LeafStats::new();
+            for &p in points {
+                if self.xs.get(p, d) <= threshold {
+                    left_stats.push(self.ys[p]);
+                } else {
+                    right_stats.push(self.ys[p]);
+                }
+            }
+            if left_stats.count() < self.config.min_leaf
+                || right_stats.count() < self.config.min_leaf
+            {
                 continue;
             }
-            let left_stats =
-                LeafStats::from_targets(&left.iter().map(|&i| self.ys[i]).collect::<Vec<_>>());
-            let right_stats =
-                LeafStats::from_targets(&right.iter().map(|&i| self.ys[i]).collect::<Vec<_>>());
             let lml = left_stats.log_marginal_likelihood(&self.prior)
                 + right_stats.log_marginal_likelihood(&self.prior);
             let split = Split {
@@ -219,15 +245,18 @@ impl DynaTree {
             .log_marginal_likelihood(&self.prior);
 
         // Log-odds of the candidate moves relative to "stay" (whose log-odds
-        // are zero by construction).
-        let mut moves: Vec<(MoveKind, f64)> = vec![(MoveKind::Stay, 0.0)];
+        // are zero by construction). At most three moves exist, so the
+        // candidate list lives on the stack.
+        let mut moves = [(MoveKind::Stay, 0.0); 3];
+        let mut n_moves = 1;
 
         if let Some((split, children_lml)) = self.propose_split(particle, leaf) {
             let p_here = self.p_split(depth);
             let p_child = self.p_split(depth + 1);
             let log_odds = children_lml - leaf_lml + p_here.ln() + 2.0 * (1.0 - p_child).ln()
                 - (1.0 - p_here).ln();
-            moves.push((MoveKind::Grow(split), log_odds));
+            moves[n_moves] = (MoveKind::Grow(split), log_odds);
+            n_moves += 1;
         }
 
         if let Some(sibling) = particle.leaf_sibling(leaf) {
@@ -242,19 +271,25 @@ impl DynaTree {
             let p_here = self.p_split(depth);
             let log_odds = merged_lml + (1.0 - p_parent).ln()
                 - (leaf_lml + sibling_lml + p_parent.ln() + 2.0 * (1.0 - p_here).ln());
-            moves.push((MoveKind::Prune, log_odds));
+            moves[n_moves] = (MoveKind::Prune, log_odds);
+            n_moves += 1;
         }
 
         // Sample a move with probability proportional to exp(log-odds).
+        let moves = &moves[..n_moves];
         let max = moves
             .iter()
             .map(|(_, w)| *w)
             .fold(f64::NEG_INFINITY, f64::max);
-        let weights: Vec<f64> = moves.iter().map(|(_, w)| (w - max).exp()).collect();
+        let mut weights = [0.0f64; 3];
+        for (w, (_, log_odds)) in weights.iter_mut().zip(moves) {
+            *w = (log_odds - max).exp();
+        }
+        let weights = &weights[..n_moves];
         let total: f64 = weights.iter().sum();
         let mut pick = self.rng.gen_range(0.0..total);
         let mut chosen = MoveKind::Stay;
-        for ((kind, _), w) in moves.into_iter().zip(weights) {
+        for (&(kind, _), &w) in moves.iter().zip(weights) {
             if pick < w {
                 chosen = kind;
                 break;
@@ -275,25 +310,121 @@ impl DynaTree {
 
     fn update_inner(&mut self, x: &[f64], y: f64) {
         let index = self.ys.len();
-        self.xs.push(x.to_vec());
+        self.xs.push_row(x);
         self.ys.push(y);
 
+        let mut scratch = std::mem::take(&mut self.scratch);
+
         // 1. Weight particles by the predictive density of the new target.
-        let log_weights: Vec<f64> = self
-            .particles
-            .iter()
-            .map(|p| p.log_weight(x, y, &self.prior))
-            .collect();
-        // 2. Resample.
-        let indices = self.resample_indices(&log_weights);
-        let mut new_particles: Vec<ParticleTree> =
-            indices.iter().map(|&i| self.particles[i].clone()).collect();
-        // 3. Propagate: insert the point and apply one structural move.
-        for particle in &mut new_particles {
-            let leaf = particle.insert(x, index, y);
-            self.apply_move(particle, leaf);
+        scratch.log_weights.clear();
+        scratch.log_weights.extend(
+            self.particles
+                .iter()
+                .map(|p| p.log_weight(x, y, &self.prior)),
+        );
+
+        // 2. Resample. Uniquely surviving particles are *moved* into their
+        //    new slots; only genuine duplicates are deep-cloned. Systematic
+        //    resampling yields non-decreasing ancestor indices, so when every
+        //    particle survives exactly once the assignment is the identity
+        //    and the particle vector is left untouched.
+        systematic_resample(
+            &mut self.rng,
+            &scratch.log_weights,
+            &mut scratch.weights,
+            &mut scratch.indices,
+        );
+        scratch.counts.clear();
+        scratch.counts.resize(self.particles.len(), 0);
+        for &i in &scratch.indices {
+            scratch.counts[i] += 1;
         }
-        self.particles = new_particles;
+        if scratch.counts.iter().any(|&c| c != 1) {
+            scratch.slots.clear();
+            scratch.slots.extend(self.particles.drain(..).map(Some));
+            for &i in &scratch.indices {
+                scratch.counts[i] -= 1;
+                let particle = if scratch.counts[i] == 0 {
+                    scratch.slots[i]
+                        .take()
+                        .expect("the last use of an ancestor moves it")
+                } else {
+                    scratch.slots[i]
+                        .as_ref()
+                        .expect("an ancestor slot stays live until its last use")
+                        .clone()
+                };
+                self.particles.push(particle);
+            }
+            // Drop the particles the resampling eliminated.
+            scratch.slots.clear();
+        }
+
+        // 3. Propagate: insert the point and apply one structural move.
+        for slot in 0..self.particles.len() {
+            let mut particle =
+                std::mem::replace(&mut self.particles[slot], ParticleTree::placeholder());
+            let leaf = particle.insert(x, index, y);
+            self.apply_move(&mut particle, leaf);
+            self.particles[slot] = particle;
+        }
+
+        self.scratch = scratch;
+    }
+
+    /// Per-particle `(flat tree, per-leaf payload)` tables for one batch
+    /// call. `payload` receives the particle, its flattened nodes and a
+    /// zero-initialized per-node table to fill.
+    fn particle_tables<T: Clone + Default + Send>(
+        &self,
+        payload: impl Fn(&ParticleTree, &[FlatNode], &mut Vec<T>) + Sync,
+    ) -> Vec<(Vec<FlatNode>, Vec<T>)> {
+        self.particles
+            .par_iter()
+            .map(|particle| {
+                let mut flat = Vec::new();
+                particle.flatten_into(&mut flat);
+                let mut table = vec![T::default(); flat.len()];
+                payload(particle, &flat, &mut table);
+                (flat, table)
+            })
+            .collect()
+    }
+}
+
+/// Systematic resampling of particle indices proportionally to the given log
+/// weights, written into `indices` (the identity assignment when the weights
+/// are degenerate). `weights` is a reusable workspace.
+fn systematic_resample(
+    rng: &mut StatsRng,
+    log_weights: &[f64],
+    weights: &mut Vec<f64>,
+    indices: &mut Vec<usize>,
+) {
+    let n = log_weights.len();
+    let max = log_weights
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    weights.clear();
+    weights.extend(log_weights.iter().map(|w| (w - max).exp()));
+    let total: f64 = weights.iter().sum();
+    indices.clear();
+    if !(total.is_finite()) || total <= 0.0 {
+        indices.extend(0..n);
+        return;
+    }
+    let step = total / n as f64;
+    let start: f64 = rng.gen_range(0.0..step);
+    let mut cumulative = weights[0];
+    let mut j = 0;
+    for i in 0..n {
+        let target = start + i as f64 * step;
+        while cumulative < target && j + 1 < n {
+            j += 1;
+            cumulative += weights[j];
+        }
+        indices.push(j);
     }
 }
 
@@ -308,7 +439,7 @@ impl SurrogateModel for DynaTree {
     fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
         let dim = validate_training_set(xs, ys)?;
         self.dimension = Some(dim);
-        self.xs.clear();
+        self.xs = FeatureMatrix::with_capacity(dim, xs.len());
         self.ys.clear();
         // Leaf prior derived from the initial targets: centre on their mean,
         // expect within-leaf variance to be a fraction of the overall spread.
@@ -319,7 +450,7 @@ impl SurrogateModel for DynaTree {
         // Start every particle as a root leaf holding the first observation,
         // then stream the remaining observations through the standard
         // particle-learning update.
-        self.xs.push(xs[0].clone());
+        self.xs.push_row(&xs[0]);
         self.ys.push(ys[0]);
         self.particles = (0..self.config.particles)
             .map(|_| ParticleTree::new_root(vec![0], &self.ys))
@@ -360,6 +491,56 @@ impl SurrogateModel for DynaTree {
         Ok(Prediction::new(mean, variance))
     }
 
+    fn predict_batch(&self, inputs: &[&[f64]]) -> Result<Vec<Prediction>> {
+        for x in inputs {
+            self.check_dimension(x)?;
+        }
+        if self.particles.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Per-particle flat traversal trees and per-leaf Student-t moments,
+        // computed once and shared by every input row.
+        let tables = self.particle_tables(|particle, _, moments: &mut Vec<(f64, f64)>| {
+            for leaf in particle.leaves() {
+                moments[leaf] = particle
+                    .leaf_stats(leaf)
+                    .predictive_mean_variance(&self.prior);
+            }
+        });
+        let n = self.particles.len() as f64;
+        let blocks: Vec<&[&[f64]]> = inputs.chunks(SCORE_BLOCK).collect();
+        let scored: Vec<Vec<Prediction>> = blocks
+            .into_par_iter()
+            .map(|block| {
+                // Accumulate over particles in index order, exactly like
+                // `predict`, so results are bit-identical to the single-point
+                // method and independent of the thread count.
+                let mut mean_acc = vec![0.0f64; block.len()];
+                let mut second_moment = vec![0.0f64; block.len()];
+                for (flat, moments) in &tables {
+                    for (i, x) in block.iter().enumerate() {
+                        let (m, v) = moments[find_leaf_flat(flat, x)];
+                        mean_acc[i] += m;
+                        second_moment[i] += v + m * m;
+                    }
+                }
+                mean_acc
+                    .iter()
+                    .zip(&second_moment)
+                    .map(|(&acc, &sm)| {
+                        let mean = acc / n;
+                        let variance = (sm / n - mean * mean).max(0.0);
+                        Prediction::new(mean, variance)
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(scored.into_iter().flatten().collect())
+    }
+
     fn observation_count(&self) -> usize {
         self.ys.len()
     }
@@ -370,66 +551,68 @@ impl SurrogateModel for DynaTree {
 }
 
 impl ActiveSurrogate for DynaTree {
-    fn alm_score(&self, candidate: &[f64]) -> Result<f64> {
-        Ok(self.predict(candidate)?.variance)
+    fn alc_score(&self, candidate: &[f64], reference: &[&[f64]]) -> Result<f64> {
+        Ok(self.alc_scores(&[candidate], reference)?[0])
     }
 
-    fn alc_score(&self, candidate: &[f64], reference: &[Vec<f64>]) -> Result<f64> {
-        let candidates = vec![candidate.to_vec()];
-        Ok(self.alc_scores(&candidates, reference)?[0])
-    }
-
-    fn alc_scores(&self, candidates: &[Vec<f64>], reference: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn alc_scores(&self, candidates: &[&[f64]], reference: &[&[f64]]) -> Result<Vec<f64>> {
         if self.particles.is_empty() {
             return Err(ModelError::NotFitted);
         }
         for c in candidates {
             self.check_dimension(c)?;
         }
+        for r in reference {
+            self.check_dimension(r)?;
+        }
         // With no reference set there is nothing to average over; fall back
         // to the ALM criterion so the scores still order candidates usefully.
         if reference.is_empty() {
             return self.alm_scores(candidates);
         }
-        // Pre-compute, per particle, the total predictive variance of the
-        // reference points falling into each leaf. Observing a candidate
-        // shrinks the predictive variance of that leaf by roughly a factor
-        // 1/(n_eff + 1), so the expected reduction in *average* variance over
-        // the reference set is (sum of the leaf's reference variance) /
-        // (n_eff + 1), averaged over particles. Leaves containing no
-        // reference mass contribute nothing — exactly like Cohn's criterion,
-        // which integrates the reduction over the input distribution.
-        let mut per_particle: Vec<std::collections::HashMap<usize, f64>> =
-            Vec::with_capacity(self.particles.len());
-        for particle in &self.particles {
-            let mut map = std::collections::HashMap::new();
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Pre-compute, per particle, each leaf's contribution to a candidate
+        // landing in it. Observing a candidate shrinks the predictive
+        // variance of its leaf by roughly a factor 1/(n_eff + 1), so the
+        // expected reduction in *average* variance over the reference set is
+        // (sum of the leaf's reference variance) / (n_eff + 1), averaged over
+        // particles. Leaves containing no reference mass contribute nothing —
+        // exactly like Cohn's criterion, which integrates the reduction over
+        // the input distribution. The reference traversals and the division
+        // are shared across all candidates; the per-candidate work is one
+        // flat-tree traversal and one table add per particle.
+        let tables = self.particle_tables(|particle, flat, add: &mut Vec<f64>| {
             for r in reference {
-                let leaf = particle.find_leaf(r);
+                let leaf = find_leaf_flat(flat, r);
                 let (_, v) = particle
                     .leaf_stats(leaf)
                     .predictive_mean_variance(&self.prior);
-                *map.entry(leaf).or_insert(0.0) += v;
+                add[leaf] += v;
             }
-            per_particle.push(map);
-        }
+            for (leaf, affected) in add.iter_mut().enumerate() {
+                if *affected > 0.0 {
+                    let n_eff = particle.leaf_stats(leaf).count() as f64 + self.prior.kappa;
+                    *affected /= n_eff + 1.0;
+                }
+            }
+        });
         let denominator = reference.len() as f64 * self.particles.len() as f64;
-        let scores = candidates
-            .iter()
-            .map(|c| {
-                let mut total = 0.0;
-                for (particle, map) in self.particles.iter().zip(&per_particle) {
-                    let leaf = particle.find_leaf(c);
-                    let affected = map.get(&leaf).copied().unwrap_or(0.0);
-                    if affected > 0.0 {
-                        let stats = particle.leaf_stats(leaf);
-                        let n_eff = stats.count() as f64 + self.prior.kappa;
-                        total += affected / (n_eff + 1.0);
+        let blocks: Vec<&[&[f64]]> = candidates.chunks(SCORE_BLOCK).collect();
+        let scored: Vec<Vec<f64>> = blocks
+            .into_par_iter()
+            .map(|block| {
+                let mut totals = vec![0.0f64; block.len()];
+                for (flat, add) in &tables {
+                    for (total, candidate) in totals.iter_mut().zip(block) {
+                        *total += add[find_leaf_flat(flat, candidate)];
                     }
                 }
-                total / denominator
+                totals.iter().map(|t| t / denominator).collect()
             })
             .collect();
-        Ok(scores)
+        Ok(scored.into_iter().flatten().collect())
     }
 }
 
@@ -447,6 +630,10 @@ mod tests {
         });
         model.fit(&xs, &ys).unwrap();
         model
+    }
+
+    fn views(rows: &[Vec<f64>]) -> Vec<&[f64]> {
+        rows.iter().map(Vec::as_slice).collect()
     }
 
     #[test]
@@ -537,6 +724,7 @@ mod tests {
     fn alm_and_alc_scores_are_finite_and_nonnegative() {
         let model = fit_on(|x| (6.0 * x).sin(), 50, 13);
         let reference: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let reference = views(&reference);
         for c in [0.05, 0.37, 0.77] {
             let alm = model.alm_score(&[c]).unwrap();
             let alc = model.alc_score(&[c], &reference).unwrap();
@@ -568,7 +756,7 @@ mod tests {
         model.fit(&xs, &ys).unwrap();
         let reference: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
         let scores = model
-            .alc_scores(&[vec![0.25], vec![0.8]], &reference)
+            .alc_scores(&[&[0.25], &[0.8]], &views(&reference))
             .unwrap();
         assert!(
             scores[1] > scores[0],
@@ -580,13 +768,41 @@ mod tests {
     fn batch_and_single_alc_agree() {
         let model = fit_on(|x| x, 30, 19);
         let reference: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
-        let batch = model
-            .alc_scores(&[vec![0.3], vec![0.6]], &reference)
-            .unwrap();
+        let reference = views(&reference);
+        let batch = model.alc_scores(&[&[0.3], &[0.6]], &reference).unwrap();
         let single0 = model.alc_score(&[0.3], &reference).unwrap();
         let single1 = model.alc_score(&[0.6], &reference).unwrap();
         assert!((batch[0] - single0).abs() < 1e-12);
         assert!((batch[1] - single1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_predict() {
+        let model = fit_on(|x| (3.0 * x).cos(), 70, 29);
+        let points: Vec<Vec<f64>> = (0..150).map(|i| vec![i as f64 / 149.0]).collect();
+        let batch = model.predict_batch(&views(&points)).unwrap();
+        for (x, p) in points.iter().zip(&batch) {
+            assert_eq!(*p, model.predict(x).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_scores_are_independent_of_the_thread_count() {
+        let model = fit_on(|x| (5.0 * x).sin(), 60, 31);
+        let candidates: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 199.0]).collect();
+        let reference: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+        let parallel_alc = model
+            .alc_scores(&views(&candidates), &views(&reference))
+            .unwrap();
+        let parallel_alm = model.alm_scores(&views(&candidates)).unwrap();
+        rayon::set_num_threads(1);
+        let serial_alc = model
+            .alc_scores(&views(&candidates), &views(&reference))
+            .unwrap();
+        let serial_alm = model.alm_scores(&views(&candidates)).unwrap();
+        rayon::set_num_threads(0);
+        assert_eq!(parallel_alc, serial_alc);
+        assert_eq!(parallel_alm, serial_alm);
     }
 
     #[test]
@@ -602,6 +818,14 @@ mod tests {
         model.fit(&xs, &ys).unwrap();
         assert!(matches!(
             model.predict(&[0.0, 1.0]),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            model.predict_batch(&[&[0.0], &[0.0, 1.0]]),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            model.alc_scores(&[&[0.0]], &[&[0.0, 1.0]]),
             Err(ModelError::DimensionMismatch { .. })
         ));
         assert_eq!(

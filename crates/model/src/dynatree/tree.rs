@@ -12,6 +12,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use alic_stats::FeatureMatrix;
+
 use crate::leaf::{LeafPrior, LeafStats};
 
 /// A proposed axis-aligned split.
@@ -52,10 +54,49 @@ pub struct ParticleTree {
     free: Vec<usize>,
 }
 
+/// A compact, traversal-only copy of one tree node (24 bytes instead of the
+/// full bookkeeping node). Batch scoring flattens every particle once per
+/// call and then runs all candidate traversals over these dense arrays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatNode {
+    /// Split dimension, or [`FLAT_LEAF`] when the node is a leaf.
+    pub dimension: u32,
+    /// Left child index (internal nodes only).
+    pub left: u32,
+    /// Right child index (internal nodes only).
+    pub right: u32,
+    /// Split threshold (internal nodes only).
+    pub threshold: f64,
+}
+
+/// Marker stored in [`FlatNode::dimension`] for leaves (and free slots,
+/// which a traversal can never reach).
+pub const FLAT_LEAF: u32 = u32::MAX;
+
+/// Index of the leaf containing `x` in a flattened tree.
+#[inline]
+pub fn find_leaf_flat(nodes: &[FlatNode], x: &[f64]) -> usize {
+    let mut index = 0usize;
+    loop {
+        let node = nodes[index];
+        if node.dimension == FLAT_LEAF {
+            return index;
+        }
+        index = if x[node.dimension as usize] <= node.threshold {
+            node.left as usize
+        } else {
+            node.right as usize
+        };
+    }
+}
+
 impl ParticleTree {
     /// Creates a tree consisting of a single root leaf containing `points`.
     pub fn new_root(points: Vec<usize>, ys: &[f64]) -> Self {
-        let stats = LeafStats::from_targets(&points.iter().map(|&i| ys[i]).collect::<Vec<_>>());
+        let mut stats = LeafStats::new();
+        for &i in &points {
+            stats.push(ys[i]);
+        }
         ParticleTree {
             nodes: vec![TreeNode {
                 parent: None,
@@ -64,6 +105,36 @@ impl ParticleTree {
             }],
             free: Vec::new(),
         }
+    }
+
+    /// A node-less placeholder used to move a particle out of its slot
+    /// without allocating. Never traversed.
+    pub(crate) fn placeholder() -> Self {
+        ParticleTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Writes a compact traversal copy of this tree into `out` (cleared
+    /// first). Node indices are preserved, so flat leaf indices can be used
+    /// with [`ParticleTree::leaf_stats`].
+    pub fn flatten_into(&self, out: &mut Vec<FlatNode>) {
+        out.clear();
+        out.extend(self.nodes.iter().map(|node| match &node.kind {
+            NodeKind::Internal { split, left, right } => FlatNode {
+                dimension: split.dimension as u32,
+                left: *left as u32,
+                right: *right as u32,
+                threshold: split.threshold,
+            },
+            NodeKind::Leaf { .. } | NodeKind::Free => FlatNode {
+                dimension: FLAT_LEAF,
+                left: 0,
+                right: 0,
+                threshold: 0.0,
+            },
+        }));
     }
 
     /// Index of the leaf whose hyper-rectangle contains `x`.
@@ -188,24 +259,37 @@ impl ParticleTree {
         &mut self,
         index: usize,
         split: Split,
-        xs: &[Vec<f64>],
+        xs: &FeatureMatrix,
         ys: &[f64],
         min_leaf: usize,
     ) -> bool {
-        let (points, depth) = match &self.nodes[index].kind {
-            NodeKind::Leaf { points, .. } => (points.clone(), self.nodes[index].depth),
-            _ => return false,
+        let depth = self.nodes[index].depth;
+        // Take the points out of the leaf (restoring them on rejection) so
+        // the partition below works on the vector itself instead of a clone.
+        let (points, stats) = match std::mem::replace(&mut self.nodes[index].kind, NodeKind::Free) {
+            NodeKind::Leaf { points, stats } => (points, stats),
+            other => {
+                self.nodes[index].kind = other;
+                return false;
+            }
         };
-        let (left_pts, right_pts): (Vec<usize>, Vec<usize>) = points
-            .iter()
-            .partition(|&&p| xs[p][split.dimension] <= split.threshold);
+        let mut left_pts = Vec::with_capacity(points.len());
+        let mut right_pts = Vec::with_capacity(points.len());
+        let mut left_stats = LeafStats::new();
+        let mut right_stats = LeafStats::new();
+        for &p in &points {
+            if xs.get(p, split.dimension) <= split.threshold {
+                left_stats.push(ys[p]);
+                left_pts.push(p);
+            } else {
+                right_stats.push(ys[p]);
+                right_pts.push(p);
+            }
+        }
         if left_pts.len() < min_leaf || right_pts.len() < min_leaf {
+            self.nodes[index].kind = NodeKind::Leaf { points, stats };
             return false;
         }
-        let left_stats =
-            LeafStats::from_targets(&left_pts.iter().map(|&i| ys[i]).collect::<Vec<_>>());
-        let right_stats =
-            LeafStats::from_targets(&right_pts.iter().map(|&i| ys[i]).collect::<Vec<_>>());
         let left = self.allocate(TreeNode {
             parent: Some(index),
             depth: depth + 1,
@@ -236,12 +320,27 @@ impl ParticleTree {
         let Some(sibling) = self.leaf_sibling(index) else {
             return false;
         };
-        let mut merged_points = self.leaf_points(index).to_vec();
-        merged_points.extend_from_slice(self.leaf_points(sibling));
-        let stats =
-            LeafStats::from_targets(&merged_points.iter().map(|&i| ys[i]).collect::<Vec<_>>());
-        self.nodes[index].kind = NodeKind::Free;
-        self.nodes[sibling].kind = NodeKind::Free;
+        // Both children become free slots, so their point vectors can be
+        // moved and merged instead of copied.
+        let NodeKind::Leaf {
+            points: mut merged_points,
+            ..
+        } = std::mem::replace(&mut self.nodes[index].kind, NodeKind::Free)
+        else {
+            unreachable!("prune target is a leaf");
+        };
+        let NodeKind::Leaf {
+            points: sibling_points,
+            ..
+        } = std::mem::replace(&mut self.nodes[sibling].kind, NodeKind::Free)
+        else {
+            unreachable!("leaf_sibling returned a leaf");
+        };
+        merged_points.extend_from_slice(&sibling_points);
+        let mut stats = LeafStats::new();
+        for &i in &merged_points {
+            stats.push(ys[i]);
+        }
         self.free.push(index);
         self.free.push(sibling);
         self.nodes[parent].kind = NodeKind::Leaf {
@@ -275,13 +374,13 @@ impl ParticleTree {
 mod tests {
     use super::*;
 
-    fn line_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
-        let ys: Vec<f64> = xs
+    fn line_data(n: usize) -> (FeatureMatrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = rows
             .iter()
             .map(|x| if x[0] <= 0.5 { 1.0 } else { 2.0 })
             .collect();
-        (xs, ys)
+        (FeatureMatrix::from_rows(&rows).unwrap(), ys)
     }
 
     #[test]
@@ -476,5 +575,42 @@ mod tests {
         );
         assert_eq!(tree.leaves().count(), tree.leaf_count());
         assert_eq!(tree.leaf_count(), 3);
+    }
+
+    #[test]
+    fn flattened_traversal_matches_find_leaf() {
+        let (xs, ys) = line_data(16);
+        let mut tree = ParticleTree::new_root((0..16).collect(), &ys);
+        tree.grow(
+            0,
+            Split {
+                dimension: 0,
+                threshold: 0.5,
+            },
+            &xs,
+            &ys,
+            1,
+        );
+        let l = tree.find_leaf(&[0.2]);
+        tree.grow(
+            l,
+            Split {
+                dimension: 0,
+                threshold: 0.25,
+            },
+            &xs,
+            &ys,
+            1,
+        );
+        // Pruning leaves a Free slot behind, which the flattening must encode
+        // harmlessly.
+        let r = tree.find_leaf(&[0.05]);
+        tree.prune(r, &ys);
+        let mut flat = Vec::new();
+        tree.flatten_into(&mut flat);
+        for i in 0..32 {
+            let x = [i as f64 / 31.0];
+            assert_eq!(find_leaf_flat(&flat, &x), tree.find_leaf(&x));
+        }
     }
 }

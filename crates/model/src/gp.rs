@@ -12,6 +12,7 @@
 //! heuristics (median-distance lengthscale) rather than marginal-likelihood
 //! optimization, which is sufficient for the workloads in this workspace.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use alic_stats::cholesky::Cholesky;
@@ -187,6 +188,12 @@ impl SurrogateModel for GaussianProcess {
         let explained: f64 = v.iter().map(|vi| vi * vi).sum();
         let variance = (self.signal_variance + self.config.noise_variance - explained).max(0.0);
         Ok(Prediction::new(mean, variance))
+    }
+
+    fn predict_batch(&self, inputs: &[&[f64]]) -> Result<Vec<Prediction>> {
+        // One kernel-vector solve per input; the rows are independent, so
+        // they are evaluated in parallel with order-preserving write-back.
+        inputs.par_iter().map(|x| self.predict(x)).collect()
     }
 
     fn observation_count(&self) -> usize {

@@ -5,6 +5,7 @@
 //! variance. Useful for validating datasets and as a cheap comparison point
 //! for the tree models.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use alic_stats::matrix::squared_distance;
@@ -98,6 +99,12 @@ impl SurrogateModel for KnnRegressor {
         let neighbours: Vec<f64> = indexed[..k].iter().map(|&(_, i)| self.ys[i]).collect();
         let summary = Summary::from_slice(&neighbours);
         Ok(Prediction::new(summary.mean, summary.variance))
+    }
+
+    fn predict_batch(&self, inputs: &[&[f64]]) -> Result<Vec<Prediction>> {
+        // Each neighbour search scans the full training set; batches are
+        // evaluated in parallel with order-preserving write-back.
+        inputs.par_iter().map(|x| self.predict(x)).collect()
     }
 
     fn observation_count(&self) -> usize {

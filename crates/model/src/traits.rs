@@ -57,6 +57,20 @@ pub trait SurrogateModel: std::fmt::Debug {
     /// wrong dimensionality.
     fn predict(&self, x: &[f64]) -> Result<Prediction>;
 
+    /// Posterior-predictive summaries for a batch of row views.
+    ///
+    /// Must agree with [`predict`](SurrogateModel::predict) applied
+    /// point-by-point; the default implementation does exactly that. Models
+    /// with exploitable structure (such as the dynamic tree) override it to
+    /// share per-model work across the batch and evaluate rows in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors.
+    fn predict_batch(&self, inputs: &[&[f64]]) -> Result<Vec<Prediction>> {
+        inputs.iter().map(|x| self.predict(x)).collect()
+    }
+
     /// Number of training observations the model currently holds.
     fn observation_count(&self) -> usize;
 
@@ -80,13 +94,17 @@ pub trait ActiveSurrogate: SurrogateModel {
         Ok(self.predict(candidate)?.variance)
     }
 
-    /// Scores many candidates with the ALM criterion.
+    /// Scores many candidate row views with the ALM criterion.
     ///
     /// # Errors
     ///
     /// Propagates prediction errors.
-    fn alm_scores(&self, candidates: &[Vec<f64>]) -> Result<Vec<f64>> {
-        candidates.iter().map(|c| self.alm_score(c)).collect()
+    fn alm_scores(&self, candidates: &[&[f64]]) -> Result<Vec<f64>> {
+        Ok(self
+            .predict_batch(candidates)?
+            .into_iter()
+            .map(|p| p.variance)
+            .collect())
     }
 
     /// Cohn's Active Learning–Cohn (ALC) criterion: the expected reduction in
@@ -103,7 +121,7 @@ pub trait ActiveSurrogate: SurrogateModel {
     /// # Errors
     ///
     /// Propagates prediction errors.
-    fn alc_score(&self, candidate: &[f64], reference: &[Vec<f64>]) -> Result<f64> {
+    fn alc_score(&self, candidate: &[f64], reference: &[&[f64]]) -> Result<f64> {
         if reference.is_empty() {
             return self.alm_score(candidate);
         }
@@ -124,16 +142,17 @@ pub trait ActiveSurrogate: SurrogateModel {
         Ok(total / reference.len() as f64)
     }
 
-    /// Scores many candidates with the ALC criterion against a shared
-    /// reference set.
+    /// Scores many candidate row views with the ALC criterion against a
+    /// shared reference set.
     ///
     /// Models with exploitable structure (such as the dynamic tree) override
-    /// this to share per-reference work across candidates.
+    /// this to share per-reference work across candidates and score
+    /// candidates in parallel.
     ///
     /// # Errors
     ///
     /// Propagates prediction errors.
-    fn alc_scores(&self, candidates: &[Vec<f64>], reference: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn alc_scores(&self, candidates: &[&[f64]], reference: &[&[f64]]) -> Result<Vec<f64>> {
         candidates
             .iter()
             .map(|c| self.alc_score(c, reference))
@@ -218,9 +237,27 @@ mod tests {
         };
         // Reference point far from the origin has high variance; a candidate
         // near it should score higher than one near the origin.
-        let reference = vec![vec![3.0]];
+        let reference: Vec<&[f64]> = vec![&[3.0]];
         let near_ref = model.alc_score(&[2.9], &reference).unwrap();
         let far_ref = model.alc_score(&[0.0], &reference).unwrap();
         assert!(near_ref > far_ref);
+    }
+
+    #[test]
+    fn default_batch_implementations_agree_with_single_point() {
+        let model = FlatModel {
+            n: 0,
+            variance: 0.3,
+        };
+        let points: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 / 2.0]).collect();
+        let views: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+        let batch = model.predict_batch(&views).unwrap();
+        let alm = model.alm_scores(&views).unwrap();
+        let alc = model.alc_scores(&views, &views[..2]).unwrap();
+        for (i, view) in views.iter().enumerate() {
+            assert_eq!(batch[i], model.predict(view).unwrap());
+            assert_eq!(alm[i], model.alm_score(view).unwrap());
+            assert_eq!(alc[i], model.alc_score(view, &views[..2]).unwrap());
+        }
     }
 }

@@ -10,6 +10,8 @@
 //! * [`error`] — model-quality metrics (RMSE, MAE) and the geometric mean
 //!   used to aggregate speed-ups (Table 1),
 //! * [`normalize`] — feature scaling and centring (§4.5),
+//! * [`features`] — flat row-major feature storage with zero-copy row views,
+//!   the backing store of the batch scoring pipeline,
 //! * [`matrix`] / [`cholesky`] — a small dense linear-algebra kernel used by
 //!   the Gaussian-process comparison model,
 //! * [`sampling`] — random subset selection used for candidate sets,
@@ -33,6 +35,7 @@
 pub mod cholesky;
 pub mod ci;
 pub mod error;
+pub mod features;
 pub mod matrix;
 pub mod normalize;
 pub mod rng;
@@ -42,6 +45,7 @@ pub mod summary;
 
 pub use ci::{confidence_interval, ConfidenceInterval};
 pub use error::{geometric_mean, mae, rmse};
+pub use features::FeatureMatrix;
 pub use matrix::Matrix;
 pub use normalize::Normalizer;
 pub use summary::{OnlineStats, Summary};

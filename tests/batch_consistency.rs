@@ -1,0 +1,149 @@
+//! Consistency guarantees of the batched scoring pipeline.
+//!
+//! Two properties guard the zero-copy batch APIs introduced with the
+//! flat-feature pipeline:
+//!
+//! 1. For **every** surrogate family, `predict_batch` / `alm_scores` /
+//!    `alc_scores` must agree with their single-point counterparts to
+//!    1e-12 — batching is an implementation detail, never a semantic change.
+//! 2. Learner runs must be bit-identical across worker-thread counts: the
+//!    parallel scoring paths write back by index and accumulate in a fixed
+//!    order, so 1 thread and 4 threads must produce the same run.
+
+use alic::core::prelude::*;
+use alic::data::dataset::{Dataset, DatasetConfig};
+use alic::model::SurrogateSpec;
+use alic::sim::noise::NoiseProfile;
+use alic::sim::profiler::SimulatedProfiler;
+use alic::sim::space::ParamSpec;
+use alic::sim::KernelSpec;
+use proptest::prelude::*;
+
+/// Deterministic, well-spread 2-D training data (no degenerate kernel
+/// matrices, so the Gaussian process always fits).
+fn training_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = (i as f64 + (seed % 7) as f64 * 0.09) / n as f64;
+        let b = ((i * 13 + seed as usize) % n) as f64 / n as f64;
+        xs.push(vec![a, b]);
+        ys.push((5.0 * a).sin() + 0.7 * b + 0.01 * ((seed % 11) as f64));
+    }
+    (xs, ys)
+}
+
+/// Every surrogate family, with ensemble sizes small enough for a property
+/// test but covering each `SurrogateSpec` variant.
+fn all_specs() -> Vec<SurrogateSpec> {
+    SurrogateSpec::all()
+        .into_iter()
+        .map(|spec| match spec {
+            SurrogateSpec::DynaTree(_) => SurrogateSpec::dynatree(30),
+            other => other,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn batch_apis_agree_with_single_point(n in 12usize..30, seed in 0u64..200, shift in 0.0f64..0.5) {
+        let (xs, ys) = training_data(n, seed);
+        let queries: Vec<Vec<f64>> = (0..17)
+            .map(|i| vec![shift + i as f64 / 17.0, 1.0 - i as f64 / 17.0])
+            .collect();
+        let query_views: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let reference_views: Vec<&[f64]> = query_views[..5].to_vec();
+        for spec in all_specs() {
+            let mut model = spec.build(seed);
+            model.fit(&xs, &ys).unwrap_or_else(|e| panic!("{spec}: fit failed: {e}"));
+
+            let batch = model.predict_batch(&query_views).unwrap();
+            let alm = model.alm_scores(&query_views).unwrap();
+            let alc = model.alc_scores(&query_views, &reference_views).unwrap();
+            prop_assert_eq!(batch.len(), queries.len());
+            for (i, view) in query_views.iter().enumerate() {
+                let single = model.predict(view).unwrap();
+                prop_assert!(
+                    (batch[i].mean - single.mean).abs() <= 1e-12,
+                    "{} mean: batch {} vs single {}", spec, batch[i].mean, single.mean
+                );
+                prop_assert!(
+                    (batch[i].variance - single.variance).abs() <= 1e-12,
+                    "{} variance: batch {} vs single {}", spec, batch[i].variance, single.variance
+                );
+                let alm_single = model.alm_score(view).unwrap();
+                prop_assert!(
+                    (alm[i] - alm_single).abs() <= 1e-12,
+                    "{} alm: batch {} vs single {}", spec, alm[i], alm_single
+                );
+                let alc_single = model.alc_score(view, &reference_views).unwrap();
+                prop_assert!(
+                    (alc[i] - alc_single).abs() <= 1e-12,
+                    "{} alc: batch {} vs single {}", spec, alc[i], alc_single
+                );
+            }
+        }
+    }
+}
+
+fn toy_profiler(seed: u64) -> SimulatedProfiler {
+    let spec = KernelSpec::new(
+        "toy",
+        vec![ParamSpec::unroll("u1"), ParamSpec::unroll("u2")],
+        1.0,
+        0.5,
+        NoiseProfile::moderate(),
+    )
+    .unwrap()
+    .with_surface_seed(7);
+    SimulatedProfiler::new(spec, seed)
+}
+
+fn run_learner() -> LearnerRun {
+    let dataset = {
+        let mut gen_profiler = toy_profiler(1);
+        Dataset::generate(
+            &mut gen_profiler,
+            &DatasetConfig {
+                configurations: 180,
+                observations: 4,
+                seed: 2,
+            },
+        )
+    };
+    let split = dataset.split(130, 3);
+    let config = LearnerConfig {
+        initial_examples: 5,
+        initial_observations: 4,
+        candidates_per_iteration: 40,
+        max_iterations: 50,
+        evaluate_every: 10,
+        acquisition: Acquisition::Alc { reference_size: 25 },
+        plan: SamplingPlan::sequential(4),
+        criteria: CompletionCriteria::none(),
+        seed: 9,
+    };
+    let mut profiler = toy_profiler(21);
+    let mut learner = ActiveLearner::new(config, &mut profiler);
+    let mut model = SurrogateSpec::dynatree(50).build(13);
+    learner.run(model.as_mut(), &dataset, &split).unwrap()
+}
+
+/// The `RAYON_NUM_THREADS=1` vs `4` determinism guarantee. The shim's
+/// programmatic override stands in for the environment variable because
+/// `setenv` concurrent with worker-thread `getenv` is undefined behavior on
+/// glibc; `current_num_threads` reads the override exactly where it would
+/// read `RAYON_NUM_THREADS`.
+#[test]
+fn learner_runs_are_identical_across_thread_counts() {
+    rayon::set_num_threads(1);
+    let serial = run_learner();
+    rayon::set_num_threads(4);
+    let parallel = run_learner();
+    rayon::set_num_threads(0);
+    assert_eq!(serial.curve, parallel.curve);
+    assert_eq!(serial.ledger, parallel.ledger);
+    assert_eq!(serial.visited, parallel.visited);
+    assert_eq!(serial.iterations, parallel.iterations);
+}
