@@ -10,7 +10,7 @@ use alic_bench::{fitted_dynatree, synthetic_training_data};
 use alic_model::cart::RegressionTree;
 use alic_model::dynatree::{DynaTree, DynaTreeConfig};
 use alic_model::gp::GaussianProcess;
-use alic_model::SurrogateModel;
+use alic_model::{row_views, SurrogateModel};
 
 fn bench_dynatree_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("dynatree_update");
@@ -48,11 +48,31 @@ fn bench_gp_refit(c: &mut Criterion) {
     for &n in &[50usize, 150, 300] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let (xs, ys) = synthetic_training_data(n);
+            let views = row_views(&xs);
             b.iter(|| {
                 let mut gp = GaussianProcess::with_defaults();
-                gp.fit(black_box(&xs), black_box(&ys)).unwrap();
+                gp.fit(black_box(&views), black_box(&ys)).unwrap();
                 gp.predict(black_box(&[0.5, 0.5])).unwrap()
             });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gp_update(c: &mut Criterion) {
+    // The rank-1 incremental path: O(n²) per update instead of an O(n³)
+    // refit per observation.
+    let mut group = c.benchmark_group("gp_update");
+    for &n in &[50usize, 150, 300] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (xs, ys) = synthetic_training_data(n);
+            let mut gp = GaussianProcess::with_defaults();
+            gp.fit(&row_views(&xs), &ys).unwrap();
+            b.iter_batched(
+                || gp.clone(),
+                |mut m| m.update(black_box(&[0.31, 0.42]), black_box(0.9)).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
         });
     }
     group.finish();
@@ -63,9 +83,10 @@ fn bench_cart_fit(c: &mut Criterion) {
     for &n in &[100usize, 400] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let (xs, ys) = synthetic_training_data(n);
+            let views = row_views(&xs);
             b.iter(|| {
                 let mut tree = RegressionTree::with_defaults();
-                tree.fit(black_box(&xs), black_box(&ys)).unwrap();
+                tree.fit(black_box(&views), black_box(&ys)).unwrap();
                 tree.predict(black_box(&[0.5, 0.5])).unwrap()
             });
         });
@@ -79,13 +100,14 @@ fn bench_dynatree_fit(c: &mut Criterion) {
     for &n in &[50usize, 200] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let (xs, ys) = synthetic_training_data(n);
+            let views = row_views(&xs);
             b.iter(|| {
                 let mut model = DynaTree::new(DynaTreeConfig {
                     particles: 100,
                     seed: 1,
                     ..Default::default()
                 });
-                model.fit(black_box(&xs), black_box(&ys)).unwrap();
+                model.fit(black_box(&views), black_box(&ys)).unwrap();
                 model
             });
         });
@@ -99,6 +121,7 @@ criterion_group!(
     bench_dynatree_predict,
     bench_dynatree_fit,
     bench_gp_refit,
+    bench_gp_update,
     bench_cart_fit
 );
 criterion_main!(benches);

@@ -1,21 +1,34 @@
 //! Wall-clock performance report for the canonical hot-path workloads.
 //!
 //! Times the workloads that dominate an active-learning run — ALC batch
-//! scoring, dynamic-tree fit and incremental update, and a full small
-//! learner run — and writes a JSON report (schema documented in the
-//! [`alic_bench`] crate docs). The canonical `full` scale carries the pre-PR2
-//! baseline timings measured on the same workloads, so the report states the
-//! speedup of the batched zero-copy pipeline directly.
+//! scoring, dynamic-tree fit and incremental update, a full small learner
+//! run, and (since PR 3) the Gaussian-process fit / incremental-update /
+//! acquisition workloads — and writes a JSON report (schema documented in
+//! the [`alic_bench`] crate docs). The canonical `full` scale carries the
+//! PR 2 baseline timings measured on the same workloads, so the report
+//! states the speedup of the incremental GP and the batched training path
+//! directly.
 //!
 //! ```text
-//! cargo run --release --bin perf_report              # full scale -> BENCH_PR2.json
+//! cargo run --release --bin perf_report                     # full scale -> BENCH_PR3.json
 //! cargo run --release --bin perf_report -- --scale smoke --out /tmp/smoke.json
+//! cargo run --release --bin perf_report -- --scale smoke \
+//!     --baseline BENCH_PR2.json --max-regression 2.0       # CI regression gate
 //! ```
 //!
 //! `--scale smoke` (or `ALIC_PERF_SCALE=smoke`) runs tiny versions of every
 //! workload in a few seconds; it exists so CI can assert the harness itself
 //! keeps working. Smoke timings carry no baselines and are not comparable
 //! across machines.
+//!
+//! `--baseline PATH` loads a previously committed report and prints, for
+//! every workload whose name appears in both, the regression ratio
+//! `seconds / baseline_seconds`. With `--max-regression X` the binary exits
+//! non-zero when any ratio exceeds `X` — the CI perf-smoke job runs this
+//! against the committed `BENCH_PR2.json` so gross performance regressions
+//! fail the build. `--merge PATH` folds the workloads of an existing report
+//! into the written one (fresh measurements win on name collisions), which
+//! is how the committed reports carry both full- and smoke-scale entries.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,17 +38,29 @@ use alic_core::acquisition::Acquisition;
 use alic_core::learner::{ActiveLearner, LearnerConfig};
 use alic_core::plan::SamplingPlan;
 use alic_model::dynatree::{DynaTree, DynaTreeConfig};
-use alic_model::{ActiveSurrogate, SurrogateModel};
+use alic_model::gp::GaussianProcess;
+use alic_model::{row_views, ActiveSurrogate, SurrogateModel};
 
-/// Pre-PR2 baseline, measured with the same binary on the same machine
-/// (single core, release build, best of N) immediately before the batched
-/// pipeline landed. `None` marks workloads without a recorded baseline.
-const FULL_BASELINES: [(&str, Option<f64>); 4] = [
-    ("alc_scores_500x50_200p", Some(0.006650)),
-    ("dynatree_fit_1000x200p", Some(1.416261)),
-    ("dynatree_update_200x200p", Some(0.595156)),
-    ("learner_run_60it_500c_200p", Some(0.281008)),
+/// PR 2 baseline, measured with the PR 2 tree on the same machine (single
+/// core, release build, best of N) immediately before this PR's
+/// optimizations landed. The GP workloads were measured with an ad-hoc
+/// harness driving PR 2's `GaussianProcess` through the identical workload
+/// shapes. `None` marks workloads without a recorded baseline.
+const FULL_BASELINES: [(&str, Option<f64>); 7] = [
+    ("alc_scores_500x50_200p", Some(0.001196)),
+    ("dynatree_fit_1000x200p", Some(0.571766)),
+    ("dynatree_update_200x200p", Some(0.128026)),
+    ("learner_run_60it_500c_200p", Some(0.071026)),
+    ("gp_fit_1000", Some(0.156376)),
+    ("gp_update_200x300", Some(2.013142)),
+    ("gp_alc_500x50_300", Some(0.949977)),
 ];
+
+/// Workloads whose baseline is below this duration are reported but never
+/// *enforced* by `--max-regression`: sub-millisecond best-of-N timings vary
+/// by more than any sane threshold across machine classes, and the gate must
+/// not turn that noise into build failures.
+const MIN_GATED_BASELINE_SECONDS: f64 = 1e-3;
 
 struct WorkloadResult {
     name: String,
@@ -46,7 +71,7 @@ struct WorkloadResult {
 
 struct ScaleParams {
     label: &'static str,
-    /// Training points behind the ALC-scored model.
+    /// Training points behind the ALC-scored model (dynatree and GP).
     alc_train: usize,
     particles: usize,
     candidates: usize,
@@ -138,11 +163,11 @@ fn run_workloads(params: &ScaleParams) -> Vec<WorkloadResult> {
             seed: 9,
             ..Default::default()
         });
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&row_views(&xs), &ys).unwrap();
         let candidates = grid(params.candidates, 0);
-        let candidates: Vec<&[f64]> = candidates.iter().map(Vec::as_slice).collect();
+        let candidates = row_views(&candidates);
         let reference = grid(params.references, 3);
-        let reference: Vec<&[f64]> = reference.iter().map(Vec::as_slice).collect();
+        let reference = row_views(&reference);
         let seconds = time_workload(
             || {
                 std::hint::black_box(model.alc_scores(&candidates, &reference).unwrap());
@@ -167,6 +192,7 @@ fn run_workloads(params: &ScaleParams) -> Vec<WorkloadResult> {
     // 2. DynaTree fit at paper-ish scale.
     {
         let (xs, ys) = synthetic_training_data(params.fit_points);
+        let views = row_views(&xs);
         let seconds = time_workload(
             || {
                 let mut model = DynaTree::new(DynaTreeConfig {
@@ -174,7 +200,7 @@ fn run_workloads(params: &ScaleParams) -> Vec<WorkloadResult> {
                     seed: 9,
                     ..Default::default()
                 });
-                model.fit(&xs, &ys).unwrap();
+                model.fit(&views, &ys).unwrap();
                 std::hint::black_box(&model);
             },
             params.reps_heavy,
@@ -199,7 +225,7 @@ fn run_workloads(params: &ScaleParams) -> Vec<WorkloadResult> {
             seed: 9,
             ..Default::default()
         });
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&row_views(&xs), &ys).unwrap();
         let updates = params.updates;
         let seconds = time_workload(
             || {
@@ -265,15 +291,97 @@ fn run_workloads(params: &ScaleParams) -> Vec<WorkloadResult> {
         });
     }
 
+    // 5. GP cold fit (kernel build + blocked factorization + weights).
+    {
+        let (xs, ys) = synthetic_training_data(params.fit_points);
+        let views = row_views(&xs);
+        let seconds = time_workload(
+            || {
+                let mut gp = GaussianProcess::with_defaults();
+                gp.fit(&views, &ys).unwrap();
+                std::hint::black_box(&gp);
+            },
+            params.reps_heavy,
+        );
+        let name = format!("gp_fit_{}", params.fit_points);
+        results.push(WorkloadResult {
+            description: format!("Gaussian-process fit on {} points", params.fit_points),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+    }
+
+    // 6. GP update-heavy run: the workload the paper's O(n³) complaint is
+    //    about. PR 2 refit the kernel matrix per update; the incremental GP
+    //    extends the live Cholesky factor in O(n²).
+    {
+        let (xs, ys) = synthetic_training_data(params.alc_train);
+        let mut gp = GaussianProcess::with_defaults();
+        gp.fit(&row_views(&xs), &ys).unwrap();
+        let updates = params.updates;
+        let seconds = time_workload(
+            || {
+                let mut m = gp.clone();
+                for i in 0..updates {
+                    let x = vec![(i % 19) as f64 / 18.0 + 1.5, (i % 5) as f64 / 4.0];
+                    m.update(&x, 1.0 + (i % 3) as f64).unwrap();
+                }
+                std::hint::black_box(&m);
+            },
+            params.reps_heavy,
+        );
+        let name = format!("gp_update_{}x{}", params.updates, params.alc_train);
+        results.push(WorkloadResult {
+            description: format!(
+                "{} incremental GP updates on a {}-point model",
+                params.updates, params.alc_train
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+    }
+
+    // 7. GP acquisition step: batched prediction + batched default ALC.
+    {
+        let (xs, ys) = synthetic_training_data(params.alc_train);
+        let mut gp = GaussianProcess::with_defaults();
+        gp.fit(&row_views(&xs), &ys).unwrap();
+        let candidates = grid(params.candidates, 0);
+        let candidates = row_views(&candidates);
+        let reference = grid(params.references, 3);
+        let reference = row_views(&reference);
+        let seconds = time_workload(
+            || {
+                std::hint::black_box(gp.alc_scores(&candidates, &reference).unwrap());
+            },
+            params.reps_scoring,
+        );
+        let name = format!(
+            "gp_alc_{}x{}_{}",
+            params.candidates, params.references, params.alc_train
+        );
+        results.push(WorkloadResult {
+            description: format!(
+                "GP ALC-score {} candidates against {} references, {}-point model",
+                params.candidates, params.references, params.alc_train
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+    }
+
     results
 }
 
-fn render_json(params: &ScaleParams, results: &[WorkloadResult]) -> String {
+fn render_json(scale_label: &str, results: &[WorkloadResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"alic-perf-report/v1\",");
-    let _ = writeln!(out, "  \"pr\": 2,");
-    let _ = writeln!(out, "  \"scale\": \"{}\",", params.label);
+    let _ = writeln!(out, "  \"pr\": 3,");
+    let _ = writeln!(out, "  \"scale\": \"{scale_label}\",");
     let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
     out.push_str("  \"workloads\": [\n");
     for (i, w) in results.iter().enumerate() {
@@ -298,17 +406,92 @@ fn render_json(params: &ScaleParams, results: &[WorkloadResult]) -> String {
     out
 }
 
+/// Minimal parser for the reports this binary writes (and the earlier
+/// `BENCH_PR<n>.json` generations, which share the line-oriented layout):
+/// extracts `name`, `description`, `seconds` and `baseline_seconds` per
+/// workload object. Not a general JSON parser — the committed reports are
+/// machine-written with one field per line and no escapes.
+fn parse_report_workloads(text: &str) -> Vec<WorkloadResult> {
+    fn unquote(v: &str) -> Option<String> {
+        let v = v.trim();
+        v.strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .map(str::to_string)
+    }
+    let mut out = Vec::new();
+    let mut current: Option<WorkloadResult> = None;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(v) = line.strip_prefix("\"name\":") {
+            if let Some(w) = current.take() {
+                out.push(w);
+            }
+            if let Some(name) = unquote(v) {
+                current = Some(WorkloadResult {
+                    name,
+                    description: String::new(),
+                    seconds: f64::NAN,
+                    baseline_seconds: None,
+                });
+            }
+        } else if let Some(w) = current.as_mut() {
+            if let Some(v) = line.strip_prefix("\"description\":") {
+                if let Some(d) = unquote(v) {
+                    w.description = d;
+                }
+            } else if let Some(v) = line.strip_prefix("\"seconds\":") {
+                w.seconds = v.trim().parse().unwrap_or(f64::NAN);
+            } else if let Some(v) = line.strip_prefix("\"baseline_seconds\":") {
+                w.baseline_seconds = v.trim().parse().ok();
+            }
+        }
+    }
+    if let Some(w) = current.take() {
+        out.push(w);
+    }
+    out.retain(|w| w.seconds.is_finite() && w.seconds > 0.0);
+    out
+}
+
+fn load_report_workloads(path: &str) -> Vec<WorkloadResult> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read report {path}: {e}");
+        std::process::exit(2);
+    });
+    let workloads = parse_report_workloads(&text);
+    if workloads.is_empty() {
+        eprintln!("no workloads found in report {path}");
+        std::process::exit(2);
+    }
+    workloads
+}
+
 fn main() {
     let mut scale = std::env::var("ALIC_PERF_SCALE").unwrap_or_else(|_| "full".to_string());
-    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut out_path = "BENCH_PR3.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut merge_path: Option<String> = None;
+    let mut max_regression: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => scale = args.next().expect("--scale needs a value"),
             "--out" => out_path = args.next().expect("--out needs a value"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a value")),
+            "--merge" => merge_path = Some(args.next().expect("--merge needs a value")),
+            "--max-regression" => {
+                let value = args.next().expect("--max-regression needs a value");
+                max_regression = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-regression needs a positive number, got {value}");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf_report [--scale full|smoke] [--out PATH]");
+                eprintln!(
+                    "usage: perf_report [--scale full|smoke] [--out PATH] \
+                     [--baseline PATH [--max-regression X]] [--merge PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -335,7 +518,61 @@ fn main() {
             None => println!("{}: {:.6} s", w.name, w.seconds),
         }
     }
-    let json = render_json(params, &results);
+
+    // Regression check against a prior committed report, by workload name.
+    let mut regression_failures = Vec::new();
+    if let Some(path) = &baseline_path {
+        let prior = load_report_workloads(path);
+        let mut matched = 0;
+        for w in &results {
+            let Some(b) = prior.iter().find(|p| p.name == w.name) else {
+                continue;
+            };
+            matched += 1;
+            let ratio = w.seconds / b.seconds;
+            let verdict = match max_regression {
+                Some(_) if b.seconds < MIN_GATED_BASELINE_SECONDS => "not gated, sub-ms baseline",
+                Some(limit) if ratio > limit => {
+                    regression_failures.push((w.name.clone(), ratio, limit));
+                    "REGRESSION"
+                }
+                _ => "ok",
+            };
+            println!(
+                "vs {path} :: {}: {:.2}x ({:.6} s now, {:.6} s before) [{verdict}]",
+                w.name, ratio, w.seconds, b.seconds
+            );
+        }
+        if matched == 0 {
+            eprintln!(
+                "warning: no workload of this run appears in {path}; \
+                 nothing to compare (check the --scale of both reports)"
+            );
+        }
+    }
+
+    // Fold in a prior report's entries (fresh measurements win on name
+    // collisions) so one file can carry full- and smoke-scale workloads.
+    let (scale_label, merged) = match &merge_path {
+        Some(path) => {
+            let mut merged: Vec<WorkloadResult> = load_report_workloads(path)
+                .into_iter()
+                .filter(|old| results.iter().all(|w| w.name != old.name))
+                .collect();
+            merged.extend(results);
+            ("mixed", merged)
+        }
+        None => (params.label, results),
+    };
+
+    let json = render_json(scale_label, &merged);
     std::fs::write(&out_path, json).expect("report file is writable");
     println!("wrote {out_path}");
+
+    if !regression_failures.is_empty() {
+        for (name, ratio, limit) in &regression_failures {
+            eprintln!("perf regression: {name} is {ratio:.2}x its baseline (limit {limit:.2}x)");
+        }
+        std::process::exit(1);
+    }
 }

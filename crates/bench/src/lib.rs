@@ -9,40 +9,56 @@
 //!
 //! `cargo run --release --bin perf_report` times the canonical hot-path
 //! workloads (ALC batch scoring at the paper's 500-candidate × 50-reference
-//! iteration shape, dynamic-tree fit and incremental update, and a full
-//! small learner run) and writes a JSON report — `BENCH_PR<n>.json` at the
-//! repo root records the trajectory across PRs. `--scale smoke` runs tiny
-//! variants so CI can assert the harness works; `--out PATH` redirects the
-//! report.
+//! iteration shape, dynamic-tree fit and incremental update, a full small
+//! learner run, and the Gaussian-process fit / incremental-update /
+//! acquisition workloads) and writes a JSON report — `BENCH_PR<n>.json` at
+//! the repo root records the trajectory across PRs. `--scale smoke` runs
+//! tiny variants so CI can assert the harness works; `--out PATH` redirects
+//! the report.
+//!
+//! Regression gating and report composition:
+//!
+//! * `--baseline PATH` loads a prior report and prints the per-workload
+//!   ratio `seconds / baseline_seconds` for every workload name present in
+//!   both reports; with `--max-regression X` the binary exits non-zero when
+//!   any ratio exceeds `X` (the CI perf-smoke job gates smoke runs against
+//!   the committed `BENCH_PR2.json` this way). Workloads with
+//!   sub-millisecond baselines are reported but never enforced — at that
+//!   duration, cross-machine timing noise exceeds any sane threshold.
+//! * `--merge PATH` folds the workloads of an existing report into the one
+//!   being written (fresh measurements win on name collisions and the
+//!   top-level `scale` becomes `"mixed"`) — this is how a committed report
+//!   carries both its canonical full-scale entries and the smoke-scale
+//!   entries CI compares against.
 //!
 //! Report schema (`alic-perf-report/v1`):
 //!
 //! ```json
 //! {
 //!   "schema": "alic-perf-report/v1",
-//!   "pr": 2,                     // PR the report belongs to
-//!   "scale": "full",             // "full" (canonical) or "smoke" (CI)
+//!   "pr": 3,                     // PR the report belongs to
+//!   "scale": "full",             // "full", "smoke" or "mixed" (merged)
 //!   "threads": 1,                // worker threads during the run
 //!   "workloads": [
 //!     {
-//!       "name": "alc_scores_500x50_200p",
+//!       "name": "gp_update_200x300",
 //!       "description": "...",
-//!       "seconds": 0.001207,          // best-of-N wall-clock seconds
-//!       "baseline_seconds": 0.006650, // pre-PR measurement, null if none
-//!       "speedup": 5.51               // baseline / seconds, null if none
+//!       "seconds": 0.032990,          // best-of-N wall-clock seconds
+//!       "baseline_seconds": 2.013142, // prior-PR measurement, null if none
+//!       "speedup": 61.02              // baseline / seconds, null if none
 //!     }
 //!   ]
 //! }
 //! ```
 //!
 //! Timings are best-of-N to suppress scheduler noise; `baseline_seconds` is
-//! measured on the same machine immediately before the PR's optimization
-//! lands and is only meaningful at `full` scale.
+//! measured on the same machine from a checkout of the previous PR and is
+//! only meaningful at `full` scale.
 
 use alic_data::dataset::{Dataset, DatasetConfig};
 use alic_data::split::TrainTestSplit;
 use alic_model::dynatree::{DynaTree, DynaTreeConfig};
-use alic_model::SurrogateModel;
+use alic_model::{row_views, SurrogateModel};
 use alic_sim::noise::NoiseProfile;
 use alic_sim::profiler::SimulatedProfiler;
 use alic_sim::space::ParamSpec;
@@ -108,7 +124,9 @@ pub fn fitted_dynatree(n: usize, particles: usize) -> DynaTree {
         seed: 9,
         ..Default::default()
     });
-    model.fit(&xs, &ys).expect("synthetic data is well formed");
+    model
+        .fit(&row_views(&xs), &ys)
+        .expect("synthetic data is well formed");
     model
 }
 

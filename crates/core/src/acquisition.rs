@@ -140,7 +140,7 @@ mod tests {
             seed: 3,
             ..Default::default()
         });
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&alic_model::row_views(&xs), &ys).unwrap();
         model
     }
 
@@ -200,7 +200,7 @@ mod tests {
         // fallback through the same argmax.
         let mut model = alic_model::baseline::ConstantMean::new();
         model
-            .fit(&[vec![0.0], vec![0.5], vec![1.0]], &[1.0, 2.0, 3.0])
+            .fit(&[&[0.0], &[0.5], &[1.0]], &[1.0, 2.0, 3.0])
             .unwrap();
         let candidates: Vec<&[f64]> = vec![&[0.9], &[0.1], &[0.4]];
         let mut rng = seeded_rng(4);

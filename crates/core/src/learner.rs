@@ -211,7 +211,6 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
         let mut positions: Vec<usize> = (0..pool.len()).collect();
         positions.shuffle(&mut rng);
         let seed_positions: Vec<usize> = positions[..config.initial_examples].to_vec();
-        let mut seed_xs = Vec::with_capacity(config.initial_examples);
         let mut seed_ys = Vec::with_capacity(config.initial_examples);
         for &pos in &seed_positions {
             let dataset_index = pool[pos];
@@ -222,7 +221,6 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
                 ledger.record(&m);
                 stats.push(m.runtime);
             }
-            seed_xs.push(pool_features.row(pos).to_vec());
             seed_ys.push(stats.mean());
             visited_positions.insert(pos, visited.len());
             visited.push(ExampleRecord {
@@ -230,7 +228,12 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
                 runtimes: stats,
             });
         }
-        model.fit(&seed_xs, &seed_ys)?;
+        // The seed training set is an index gather into the pool matrix —
+        // like every later `update`, `fit` reads rows straight from the
+        // dataset's flat storage without cloning a feature vector.
+        let seed_views: Vec<&[f64]> = pool_features.gather(seed_positions.iter().copied());
+        model.fit(&seed_views, &seed_ys)?;
+        drop(seed_views);
 
         let mut latest_rmse = evaluate_rmse(model, &test_features, &test_targets)?;
         curve.push(CurvePoint {

@@ -24,7 +24,7 @@ impl ConstantMean {
 }
 
 impl SurrogateModel for ConstantMean {
-    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+    fn fit(&mut self, xs: &[&[f64]], ys: &[f64]) -> Result<()> {
         let dim = validate_training_set(xs, ys)?;
         self.dimension = Some(dim);
         self.stats = ys.iter().copied().collect();
@@ -70,13 +70,14 @@ impl ActiveSurrogate for ConstantMean {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::row_views;
 
     #[test]
     fn predicts_the_training_mean_everywhere() {
         let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
         let ys = vec![1.0, 2.0, 3.0, 4.0];
         let mut model = ConstantMean::new();
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&row_views(&xs), &ys).unwrap();
         assert!((model.predict(&[0.0]).unwrap().mean - 2.5).abs() < 1e-12);
         assert!((model.predict(&[99.0]).unwrap().mean - 2.5).abs() < 1e-12);
     }
@@ -86,7 +87,7 @@ mod tests {
         let xs = vec![vec![0.0], vec![1.0]];
         let ys = vec![1.0, 1.0];
         let mut model = ConstantMean::new();
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&row_views(&xs), &ys).unwrap();
         model.update(&[2.0], 4.0).unwrap();
         assert!((model.predict(&[0.0]).unwrap().mean - 2.0).abs() < 1e-12);
         assert_eq!(model.observation_count(), 3);
@@ -98,7 +99,7 @@ mod tests {
         assert_eq!(model.predict(&[0.0]).unwrap_err(), ModelError::NotFitted);
         let xs = vec![vec![0.0, 1.0]];
         let ys = vec![1.0];
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&row_views(&xs), &ys).unwrap();
         assert!(matches!(
             model.update(&[1.0], 1.0),
             Err(ModelError::DimensionMismatch { .. })

@@ -100,7 +100,7 @@ impl RegressionTree {
         }
     }
 
-    fn build(&mut self, xs: &[Vec<f64>], ys: &[f64], indices: Vec<usize>, depth: usize) -> usize {
+    fn build(&mut self, xs: &[&[f64]], ys: &[f64], indices: Vec<usize>, depth: usize) -> usize {
         let stats = LeafStats::from_targets(&indices.iter().map(|&i| ys[i]).collect::<Vec<_>>());
         let node_variance = variance_of(&indices, ys);
         if depth >= self.config.max_depth
@@ -215,7 +215,7 @@ fn variance_of(indices: &[usize], ys: &[f64]) -> f64 {
 }
 
 impl SurrogateModel for RegressionTree {
-    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+    fn fit(&mut self, xs: &[&[f64]], ys: &[f64]) -> Result<()> {
         let dim = validate_training_set(xs, ys)?;
         self.nodes.clear();
         self.dimension = Some(dim);
@@ -287,6 +287,7 @@ impl ActiveSurrogate for RegressionTree {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::row_views;
 
     fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
         // A step function: 1.0 below x = 0.5, 3.0 above.
@@ -302,7 +303,7 @@ mod tests {
     fn learns_a_step_function() {
         let (xs, ys) = step_data();
         let mut tree = RegressionTree::with_defaults();
-        tree.fit(&xs, &ys).unwrap();
+        tree.fit(&row_views(&xs), &ys).unwrap();
         assert!((tree.predict(&[0.2]).unwrap().mean - 1.0).abs() < 0.1);
         assert!((tree.predict(&[0.8]).unwrap().mean - 3.0).abs() < 0.1);
         assert!(tree.leaf_count() >= 2);
@@ -313,7 +314,7 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let ys = vec![5.0; 20];
         let mut tree = RegressionTree::with_defaults();
-        tree.fit(&xs, &ys).unwrap();
+        tree.fit(&row_views(&xs), &ys).unwrap();
         assert_eq!(tree.leaf_count(), 1);
         assert!((tree.predict(&[7.5]).unwrap().mean - 5.0).abs() < 0.05);
     }
@@ -325,7 +326,7 @@ mod tests {
             max_depth: 1,
             ..Default::default()
         });
-        tree.fit(&xs, &ys).unwrap();
+        tree.fit(&row_views(&xs), &ys).unwrap();
         assert!(tree.depth() <= 1);
     }
 
@@ -333,7 +334,7 @@ mod tests {
     fn update_shifts_leaf_predictions() {
         let (xs, ys) = step_data();
         let mut tree = RegressionTree::with_defaults();
-        tree.fit(&xs, &ys).unwrap();
+        tree.fit(&row_views(&xs), &ys).unwrap();
         let before = tree.predict(&[0.2]).unwrap().mean;
         for _ in 0..200 {
             tree.update(&[0.2], 2.0).unwrap();
@@ -353,7 +354,7 @@ mod tests {
     fn dimension_mismatch_is_reported() {
         let (xs, ys) = step_data();
         let mut tree = RegressionTree::with_defaults();
-        tree.fit(&xs, &ys).unwrap();
+        tree.fit(&row_views(&xs), &ys).unwrap();
         assert!(matches!(
             tree.predict(&[1.0, 2.0]),
             Err(ModelError::DimensionMismatch {
@@ -377,7 +378,7 @@ mod tests {
             }
         }
         let mut tree = RegressionTree::with_defaults();
-        tree.fit(&xs, &ys).unwrap();
+        tree.fit(&row_views(&xs), &ys).unwrap();
         assert!(tree.predict(&[0.9, 0.9]).unwrap().mean > 3.0);
         assert!(tree.predict(&[0.1, 0.9]).unwrap().mean < 2.0);
     }
@@ -397,7 +398,7 @@ mod tests {
             }
         }
         let mut tree = RegressionTree::with_defaults();
-        tree.fit(&xs, &ys).unwrap();
+        tree.fit(&row_views(&xs), &ys).unwrap();
         let quiet = tree.predict(&[0.25]).unwrap().variance;
         let noisy = tree.predict(&[0.75]).unwrap().variance;
         assert!(noisy > quiet);

@@ -436,7 +436,7 @@ enum MoveKind {
 }
 
 impl SurrogateModel for DynaTree {
-    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+    fn fit(&mut self, xs: &[&[f64]], ys: &[f64]) -> Result<()> {
         let dim = validate_training_set(xs, ys)?;
         self.dimension = Some(dim);
         self.xs = FeatureMatrix::with_capacity(dim, xs.len());
@@ -450,7 +450,7 @@ impl SurrogateModel for DynaTree {
         // Start every particle as a root leaf holding the first observation,
         // then stream the remaining observations through the standard
         // particle-learning update.
-        self.xs.push_row(&xs[0]);
+        self.xs.push_row(xs[0]);
         self.ys.push(ys[0]);
         self.particles = (0..self.config.particles)
             .map(|_| ParticleTree::new_root(vec![0], &self.ys))
@@ -628,7 +628,7 @@ mod tests {
             seed,
             ..Default::default()
         });
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&crate::row_views(&xs), &ys).unwrap();
         model
     }
 
@@ -687,7 +687,7 @@ mod tests {
             seed: 5,
             ..Default::default()
         });
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&crate::row_views(&xs), &ys).unwrap();
         let inside = model.predict(&[0.2]).unwrap().variance;
         let outside = model.predict(&[0.95]).unwrap().variance;
         assert!(
@@ -714,7 +714,7 @@ mod tests {
             seed: 11,
             ..Default::default()
         });
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&crate::row_views(&xs), &ys).unwrap();
         let quiet = model.predict(&[0.25]).unwrap().variance;
         let noisy = model.predict(&[0.75]).unwrap().variance;
         assert!(noisy > quiet, "noisy {noisy} should exceed quiet {quiet}");
@@ -753,7 +753,7 @@ mod tests {
             seed: 17,
             ..Default::default()
         });
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&crate::row_views(&xs), &ys).unwrap();
         let reference: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
         let scores = model
             .alc_scores(&[&[0.25], &[0.8]], &views(&reference))
@@ -815,7 +815,7 @@ mod tests {
         );
         let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
         let ys = vec![0.0, 1.0, 2.0];
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&crate::row_views(&xs), &ys).unwrap();
         assert!(matches!(
             model.predict(&[0.0, 1.0]),
             Err(ModelError::DimensionMismatch { .. })
@@ -860,7 +860,7 @@ mod tests {
             seed: 29,
             ..Default::default()
         });
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&crate::row_views(&xs), &ys).unwrap();
         assert!(model.predict(&[0.9, 0.9]).unwrap().mean > 3.0);
         assert!(model.predict(&[0.1, 0.1]).unwrap().mean < 2.5);
     }

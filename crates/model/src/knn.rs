@@ -4,12 +4,19 @@
 //! of the `k` nearest training targets and its variance is their sample
 //! variance. Useful for validating datasets and as a cheap comparison point
 //! for the tree models.
+//!
+//! Training inputs live in a flat row-major [`FeatureMatrix`], and each
+//! query selects its `k` nearest neighbours with partial selection
+//! (`select_nth_unstable_by`) — `O(n)` expected per query instead of the
+//! `O(n log n)` full sort — with a `(distance, index)` total order that
+//! reproduces the stable-sort tie-break (lower index wins) exactly.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use alic_stats::matrix::squared_distance;
 use alic_stats::summary::Summary;
+use alic_stats::FeatureMatrix;
 
 use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
 use crate::{validate_training_set, ModelError, Result};
@@ -28,12 +35,20 @@ impl Default for KnnConfig {
 }
 
 /// k-nearest-neighbour regressor.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct KnnRegressor {
     config: KnnConfig,
-    xs: Vec<Vec<f64>>,
+    /// Flat row-major training inputs. The placeholder width used before
+    /// [`fit`](SurrogateModel::fit) is never read (`dimension` is `None`).
+    xs: FeatureMatrix,
     ys: Vec<f64>,
     dimension: Option<usize>,
+}
+
+impl Default for KnnRegressor {
+    fn default() -> Self {
+        KnnRegressor::new(KnnConfig::default())
+    }
 }
 
 impl KnnRegressor {
@@ -41,7 +56,9 @@ impl KnnRegressor {
     pub fn new(config: KnnConfig) -> Self {
         KnnRegressor {
             config,
-            ..Default::default()
+            xs: FeatureMatrix::new(1),
+            ys: Vec::new(),
+            dimension: None,
         }
     }
 
@@ -62,11 +79,23 @@ impl KnnRegressor {
     }
 }
 
+/// Total order on `(squared distance, training index)` pairs. Ordering by
+/// index second reproduces the tie-break of a stable sort on distance alone:
+/// among equidistant neighbours, the earliest training point wins.
+fn by_distance_then_index(a: &(f64, usize), b: &(f64, usize)) -> std::cmp::Ordering {
+    a.0.partial_cmp(&b.0)
+        .expect("finite distances")
+        .then(a.1.cmp(&b.1))
+}
+
 impl SurrogateModel for KnnRegressor {
-    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+    fn fit(&mut self, xs: &[&[f64]], ys: &[f64]) -> Result<()> {
         let dim = validate_training_set(xs, ys)?;
         self.dimension = Some(dim);
-        self.xs = xs.to_vec();
+        self.xs = FeatureMatrix::with_capacity(dim, xs.len());
+        for x in xs {
+            self.xs.push_row(x);
+        }
         self.ys = ys.to_vec();
         Ok(())
     }
@@ -76,7 +105,7 @@ impl SurrogateModel for KnnRegressor {
         if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
             return Err(ModelError::NonFiniteInput);
         }
-        self.xs.push(x.to_vec());
+        self.xs.push_row(x);
         self.ys.push(y);
         Ok(())
     }
@@ -85,7 +114,7 @@ impl SurrogateModel for KnnRegressor {
         self.check_dimension(x)?;
         let mut indexed: Vec<(f64, usize)> = self
             .xs
-            .iter()
+            .rows()
             .enumerate()
             .map(|(i, xi)| {
                 (
@@ -94,9 +123,17 @@ impl SurrogateModel for KnnRegressor {
                 )
             })
             .collect();
-        indexed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
         let k = self.config.k.max(1).min(indexed.len());
-        let neighbours: Vec<f64> = indexed[..k].iter().map(|&(_, i)| self.ys[i]).collect();
+        // Partial selection: O(n) expected to isolate the k nearest, then a
+        // sort of only those k to fix the averaging order. The
+        // distance-then-index order makes both steps deterministic and
+        // matches what a full stable sort on distance produced.
+        if k < indexed.len() {
+            indexed.select_nth_unstable_by(k - 1, by_distance_then_index);
+        }
+        let neighbours = &mut indexed[..k];
+        neighbours.sort_unstable_by(by_distance_then_index);
+        let neighbours: Vec<f64> = neighbours.iter().map(|&(_, i)| self.ys[i]).collect();
         let summary = Summary::from_slice(&neighbours);
         Ok(Prediction::new(summary.mean, summary.variance))
     }
@@ -121,13 +158,14 @@ impl ActiveSurrogate for KnnRegressor {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::row_views;
 
     #[test]
     fn nearest_neighbour_recovers_local_structure() {
         let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let ys: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
         let mut knn = KnnRegressor::with_k(3);
-        knn.fit(&xs, &ys).unwrap();
+        knn.fit(&row_views(&xs), &ys).unwrap();
         assert!((knn.predict(&[2.0]).unwrap().mean - 1.0).abs() < 1e-12);
         assert!((knn.predict(&[17.0]).unwrap().mean - 5.0).abs() < 1e-12);
     }
@@ -137,7 +175,7 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
         let ys = vec![1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 6.0, 2.0, 6.0, 2.0];
         let mut knn = KnnRegressor::with_k(3);
-        knn.fit(&xs, &ys).unwrap();
+        knn.fit(&row_views(&xs), &ys).unwrap();
         let quiet = knn.predict(&[1.0]).unwrap().variance;
         let noisy = knn.predict(&[7.0]).unwrap().variance;
         assert!(noisy > quiet);
@@ -148,7 +186,7 @@ mod tests {
         let xs = vec![vec![0.0], vec![10.0]];
         let ys = vec![0.0, 10.0];
         let mut knn = KnnRegressor::with_k(1);
-        knn.fit(&xs, &ys).unwrap();
+        knn.fit(&row_views(&xs), &ys).unwrap();
         knn.update(&[5.0], 5.0).unwrap();
         assert!((knn.predict(&[5.1]).unwrap().mean - 5.0).abs() < 1e-12);
         assert_eq!(knn.observation_count(), 3);
@@ -159,8 +197,28 @@ mod tests {
         let xs = vec![vec![0.0], vec![1.0]];
         let ys = vec![2.0, 4.0];
         let mut knn = KnnRegressor::with_k(10);
-        knn.fit(&xs, &ys).unwrap();
+        knn.fit(&row_views(&xs), &ys).unwrap();
         assert!((knn.predict(&[0.5]).unwrap().mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equidistant_ties_resolve_to_the_earliest_training_point() {
+        // Five training points all at the same location with different
+        // targets: with k = 2 the partial selection must pick indices 0 and
+        // 1 (the stable-sort tie-break), never a later duplicate.
+        let xs = vec![vec![1.0]; 5];
+        let ys = vec![10.0, 20.0, 30.0, 40.0, 50.0];
+        let mut knn = KnnRegressor::with_k(2);
+        knn.fit(&row_views(&xs), &ys).unwrap();
+        let p = knn.predict(&[1.0]).unwrap();
+        assert!((p.mean - 15.0).abs() < 1e-12, "mean {} != 15", p.mean);
+        // Symmetric neighbours at equal distance: index order decides.
+        let xs = vec![vec![0.0], vec![2.0], vec![0.0], vec![2.0]];
+        let ys = vec![1.0, 3.0, 5.0, 7.0];
+        let mut knn = KnnRegressor::with_k(2);
+        knn.fit(&row_views(&xs), &ys).unwrap();
+        let p = knn.predict(&[1.0]).unwrap();
+        assert!((p.mean - 2.0).abs() < 1e-12, "mean {} != 2", p.mean);
     }
 
     #[test]

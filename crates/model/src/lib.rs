@@ -32,13 +32,13 @@
 //!
 //! ```
 //! use alic_model::dynatree::{DynaTree, DynaTreeConfig};
-//! use alic_model::{ActiveSurrogate, SurrogateModel};
+//! use alic_model::{row_views, ActiveSurrogate, SurrogateModel};
 //!
 //! // Fit y = x with a little curvature on a handful of points.
 //! let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
 //! let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 0.1 * x[0] * x[0]).collect();
 //! let mut model = DynaTree::new(DynaTreeConfig { particles: 50, seed: 1, ..Default::default() });
-//! model.fit(&xs, &ys)?;
+//! model.fit(&row_views(&xs), &ys)?;
 //! model.update(&[0.5], 1.02)?;
 //! let pred = model.predict(&[0.25])?;
 //! assert!(pred.variance >= 0.0);
@@ -111,7 +111,17 @@ impl std::error::Error for ModelError {}
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, ModelError>;
 
-pub(crate) fn validate_training_set(xs: &[Vec<f64>], ys: &[f64]) -> Result<usize> {
+/// Borrows a nested training set as the row views [`SurrogateModel::fit`]
+/// consumes.
+///
+/// The training APIs take `&[&[f64]]` so that callers holding a flat
+/// `FeatureMatrix` can gather views without copying; this adapter exists for
+/// call sites (mostly tests and examples) that still build `Vec<Vec<f64>>`.
+pub fn row_views(rows: &[Vec<f64>]) -> Vec<&[f64]> {
+    rows.iter().map(Vec::as_slice).collect()
+}
+
+pub(crate) fn validate_training_set(xs: &[&[f64]], ys: &[f64]) -> Result<usize> {
     if xs.is_empty() || ys.is_empty() {
         return Err(ModelError::EmptyTrainingSet);
     }
@@ -150,7 +160,7 @@ mod tests {
     fn validate_accepts_consistent_data() {
         let xs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
         let ys = vec![0.5, 0.7];
-        assert_eq!(validate_training_set(&xs, &ys), Ok(2));
+        assert_eq!(validate_training_set(&row_views(&xs), &ys), Ok(2));
     }
 
     #[test]
@@ -160,23 +170,31 @@ mod tests {
             Err(ModelError::EmptyTrainingSet)
         );
         assert_eq!(
-            validate_training_set(&[vec![1.0]], &[1.0, 2.0]),
+            validate_training_set(&[&[1.0]], &[1.0, 2.0]),
             Err(ModelError::LengthMismatch {
                 inputs: 1,
                 targets: 2
             })
         );
         assert_eq!(
-            validate_training_set(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]),
+            validate_training_set(&[&[1.0], &[1.0, 2.0]], &[1.0, 2.0]),
             Err(ModelError::DimensionMismatch {
                 expected: 1,
                 actual: 2
             })
         );
         assert_eq!(
-            validate_training_set(&[vec![f64::NAN]], &[1.0]),
+            validate_training_set(&[&[f64::NAN]], &[1.0]),
             Err(ModelError::NonFiniteInput)
         );
+    }
+
+    #[test]
+    fn row_views_borrow_without_copying() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let views = row_views(&rows);
+        assert_eq!(views.len(), 2);
+        assert!(std::ptr::eq(views[0].as_ptr(), rows[0].as_ptr()));
     }
 
     #[test]

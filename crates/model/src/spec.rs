@@ -136,6 +136,7 @@ impl std::fmt::Display for SurrogateSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::row_views;
 
     fn training_data() -> (Vec<Vec<f64>>, Vec<f64>) {
         let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
@@ -169,7 +170,7 @@ mod tests {
         for spec in SurrogateSpec::all() {
             let mut model = spec.build(7);
             model
-                .fit(&xs, &ys)
+                .fit(&row_views(&xs), &ys)
                 .unwrap_or_else(|e| panic!("{spec}: fit failed: {e}"));
             model.update(&[0.5], 1.3).unwrap();
             let pred = model.predict(&[0.25]).unwrap();
@@ -193,8 +194,8 @@ mod tests {
         let cart = SurrogateSpec::Cart(CartConfig::default());
         let mut a = cart.build(1);
         let mut b = cart.build(2);
-        a.fit(&xs, &ys).unwrap();
-        b.fit(&xs, &ys).unwrap();
+        a.fit(&row_views(&xs), &ys).unwrap();
+        b.fit(&row_views(&xs), &ys).unwrap();
         assert_eq!(a.predict(&[0.4]).unwrap(), b.predict(&[0.4]).unwrap());
     }
 
@@ -210,7 +211,7 @@ mod tests {
         }
         let (xs, ys) = training_data();
         let mut model = spec.build(5);
-        model.fit(&xs, &ys).unwrap();
+        model.fit(&row_views(&xs), &ys).unwrap();
         assert!(model.predict(&[0.1]).unwrap().mean.is_finite());
     }
 }

@@ -33,13 +33,19 @@ impl Prediction {
 /// active-learning loop performs at every iteration; models that cannot
 /// update incrementally (such as the Gaussian process) simply refit.
 pub trait SurrogateModel: std::fmt::Debug {
-    /// Fits the model from scratch on an initial training set.
+    /// Fits the model from scratch on an initial training set of row views.
+    ///
+    /// The rows are borrowed (typically gathered from a flat
+    /// `FeatureMatrix` pool); models copy what they need into their own flat
+    /// storage, so no caller ever materializes a `Vec<Vec<f64>>` for
+    /// training. Use [`crate::row_views`] to adapt nested data at the call
+    /// site.
     ///
     /// # Errors
     ///
     /// Returns an error when the data are empty, inconsistently shaped, or
     /// contain non-finite values.
-    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()>;
+    fn fit(&mut self, xs: &[&[f64]], ys: &[f64]) -> Result<()>;
 
     /// Incorporates one new observation `(x, y)`.
     ///
@@ -114,9 +120,11 @@ pub trait ActiveSurrogate: SurrogateModel {
     ///
     /// The default implementation is a generic finite approximation: it
     /// assumes observing the candidate mostly improves predictions near the
-    /// candidate, weighting reference points by an inverse-distance kernel.
-    /// Models with structure (such as the dynamic tree) override this with a
-    /// sharper estimate.
+    /// candidate, weighting each reference point's predictive variance by an
+    /// inverse-distance kernel (observing the candidate can at best halve
+    /// the variance of nearby reference predictions; far points are barely
+    /// affected). Models with structure (such as the dynamic tree) override
+    /// this with a sharper estimate.
     ///
     /// # Errors
     ///
@@ -125,7 +133,6 @@ pub trait ActiveSurrogate: SurrogateModel {
         if reference.is_empty() {
             return self.alm_score(candidate);
         }
-        let cand_var = self.predict(candidate)?.variance;
         let mut total = 0.0;
         for r in reference {
             let pred = self.predict(r)?;
@@ -135,9 +142,7 @@ pub trait ActiveSurrogate: SurrogateModel {
                 .map(|(a, b)| (a - b) * (a - b))
                 .sum();
             let proximity = 1.0 / (1.0 + dist2);
-            // Observing the candidate can at best halve the variance of
-            // nearby reference predictions; far points are barely affected.
-            total += 0.5 * proximity * pred.variance.min(cand_var.max(pred.variance));
+            total += 0.5 * proximity * pred.variance;
         }
         Ok(total / reference.len() as f64)
     }
@@ -145,18 +150,47 @@ pub trait ActiveSurrogate: SurrogateModel {
     /// Scores many candidate row views with the ALC criterion against a
     /// shared reference set.
     ///
-    /// Models with exploitable structure (such as the dynamic tree) override
-    /// this to share per-reference work across candidates and score
-    /// candidates in parallel.
+    /// The default implementation computes the same values as
+    /// [`alc_score`](ActiveSurrogate::alc_score) applied per candidate, but
+    /// predicts the reference set **once** through
+    /// [`predict_batch`](SurrogateModel::predict_batch) instead of
+    /// re-predicting it for every candidate — for a model with an `O(n²)`
+    /// predictor (the Gaussian process) this turns an `O(|C|·|R|·n²)`
+    /// acquisition step into `O(|R|·n² + |C|·|R|·d)`. Models with
+    /// exploitable structure (such as the dynamic tree) override it
+    /// entirely.
     ///
     /// # Errors
     ///
     /// Propagates prediction errors.
     fn alc_scores(&self, candidates: &[&[f64]], reference: &[&[f64]]) -> Result<Vec<f64>> {
-        candidates
+        if reference.is_empty() {
+            return self.alm_scores(candidates);
+        }
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ref_vars: Vec<f64> = self
+            .predict_batch(reference)?
+            .into_iter()
+            .map(|p| p.variance)
+            .collect();
+        Ok(candidates
             .iter()
-            .map(|c| self.alc_score(c, reference))
-            .collect()
+            .map(|candidate| {
+                let mut total = 0.0;
+                for (r, &ref_var) in reference.iter().zip(&ref_vars) {
+                    let dist2: f64 = r
+                        .iter()
+                        .zip(*candidate)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    let proximity = 1.0 / (1.0 + dist2);
+                    total += 0.5 * proximity * ref_var;
+                }
+                total / reference.len() as f64
+            })
+            .collect())
     }
 }
 
@@ -173,7 +207,7 @@ mod tests {
     }
 
     impl SurrogateModel for FlatModel {
-        fn fit(&mut self, xs: &[Vec<f64>], _ys: &[f64]) -> Result<()> {
+        fn fit(&mut self, xs: &[&[f64]], _ys: &[f64]) -> Result<()> {
             self.n = xs.len();
             Ok(())
         }

@@ -1,21 +1,66 @@
 //! Cholesky decomposition and symmetric-positive-definite solves.
 //!
-//! The Gaussian-process comparison model (the "collective wisdom" model the
-//! paper contrasts with dynamic trees in §3.2) needs `K⁻¹ y` and log
-//! determinants of kernel matrices. A plain `LLᵀ` factorization is sufficient
-//! at the sizes used in this workspace.
+//! The Gaussian-process surrogate needs `K⁻¹ y`, batched `L⁻¹ K*` solves and
+//! log determinants of kernel matrices, and — because the active-learning
+//! loop appends one observation per iteration — an **incremental rank-1
+//! extension** of an existing factorization.
+//!
+//! # Layout and cost
+//!
+//! The factor is stored packed: row `i` of the lower triangle occupies the
+//! contiguous slice `data[i(i+1)/2 .. i(i+1)/2 + i + 1]`. Every inner kernel
+//! (factorization, forward/backward substitution, row append) is a dot
+//! product over two contiguous slices, which keeps the hot loops in cache
+//! and lets the compiler vectorize them. The batched solve
+//! ([`forward_substitute_batch`](Cholesky::forward_substitute_batch)) blocks
+//! over right-hand sides: each factor row is loaded once and applied to the
+//! whole block, instead of re-walking the factor per right-hand side.
+//!
+//! # Incremental extension
+//!
+//! [`append_row`](Cholesky::append_row) extends an `n × n` factorization to
+//! `(n+1) × (n+1)` in `O(n²)`: the new off-diagonal row is one forward
+//! substitution and the new diagonal is a Schur complement. The bordered
+//! (row-at-a-time) factorization used by [`decompose`](Cholesky::decompose)
+//! computes each row with **exactly the operations `append_row` performs**,
+//! so growing a factor one row at a time yields bit-identical results to a
+//! cold factorization of the final matrix — the property the incremental
+//! Gaussian process relies on.
 
 use crate::matrix::Matrix;
 use crate::{Result, StatsError};
 
-/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+/// Dot product over two equally long slices, accumulated left to right.
+///
+/// All factorization and substitution kernels go through this one function
+/// so their rounding behaviour is identical across the cold and incremental
+/// code paths.
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sum = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        sum += x * y;
+    }
+    sum
+}
+
+#[inline]
+fn row_offset(i: usize) -> usize {
+    i * (i + 1) / 2
+}
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`, stored packed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cholesky {
-    factor: Matrix,
+    n: usize,
+    /// Packed row-major lower triangle (row `i` has `i + 1` entries).
+    data: Vec<f64>,
 }
 
 impl Cholesky {
-    /// Decomposes a symmetric positive-definite matrix.
+    /// Decomposes a symmetric positive-definite matrix. Only the lower
+    /// triangle of the input is read.
     ///
     /// # Errors
     ///
@@ -45,34 +90,122 @@ impl Cholesky {
             });
         }
         let n = matrix.rows();
-        let mut l = Matrix::zeros(n, n);
+        let mut data = Vec::with_capacity(row_offset(n));
         for i in 0..n {
-            for j in 0..=i {
-                let mut sum = matrix.get(i, j);
-                for k in 0..j {
-                    sum -= l.get(i, k) * l.get(j, k);
-                }
-                if i == j {
-                    if sum <= 0.0 || !sum.is_finite() {
-                        return Err(StatsError::NotPositiveDefinite);
-                    }
-                    l.set(i, j, sum.sqrt());
-                } else {
-                    l.set(i, j, sum / l.get(j, j));
-                }
-            }
+            data.extend_from_slice(&matrix.row(i)[..=i]);
         }
-        Ok(Cholesky { factor: l })
+        Self::decompose_packed(n, data)
     }
 
-    /// The lower-triangular factor `L`.
-    pub fn factor(&self) -> &Matrix {
-        &self.factor
+    /// Decomposes a matrix given as its packed lower triangle (row `i` holds
+    /// entries `(i, 0..=i)`), factorizing in place without a dense copy.
+    ///
+    /// This is the entry point for callers that already maintain a packed
+    /// kernel-row cache (the Gaussian process).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `data.len()` is not
+    /// `n(n+1)/2` and [`StatsError::NotPositiveDefinite`] when a
+    /// non-positive pivot is encountered.
+    pub fn decompose_packed(n: usize, mut data: Vec<f64>) -> Result<Self> {
+        if data.len() != row_offset(n) {
+            return Err(StatsError::DimensionMismatch {
+                expected: row_offset(n),
+                actual: data.len(),
+            });
+        }
+        // Bordered factorization: row i is produced from the already-final
+        // rows above it by exactly the operations `append_row` performs.
+        for i in 0..n {
+            let (head, tail) = data.split_at_mut(row_offset(i));
+            let row_i = &mut tail[..=i];
+            for j in 0..i {
+                let row_j = &head[row_offset(j)..row_offset(j) + j + 1];
+                let s = dot(&row_i[..j], &row_j[..j]);
+                row_i[j] = (row_i[j] - s) / row_j[j];
+            }
+            let d = row_i[i] - dot(&row_i[..i], &row_i[..i]);
+            if d <= 0.0 || !d.is_finite() {
+                return Err(StatsError::NotPositiveDefinite);
+            }
+            row_i[i] = d.sqrt();
+        }
+        Ok(Cholesky { n, data })
+    }
+
+    /// Extends the factorization of an `n × n` matrix `A` to the
+    /// `(n+1) × (n+1)` matrix bordered by `row`: `row[..n]` holds the new
+    /// off-diagonal entries `A[n][0..n]` and `row[n]` the new diagonal entry.
+    ///
+    /// Runs in `O(n²)` (one forward substitution plus a Schur complement)
+    /// and produces the same factor, bit for bit, as a cold
+    /// [`decompose`](Cholesky::decompose) of the bordered matrix. On error
+    /// the existing factorization is left untouched, so callers can fall
+    /// back to a full refactorization with more jitter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `row.len() != n + 1`
+    /// and [`StatsError::NotPositiveDefinite`] when the Schur complement of
+    /// the new diagonal is non-positive (the bordered matrix is numerically
+    /// not positive definite).
+    pub fn append_row(&mut self, row: &[f64]) -> Result<()> {
+        let n = self.n;
+        if row.len() != n + 1 {
+            return Err(StatsError::DimensionMismatch {
+                expected: n + 1,
+                actual: row.len(),
+            });
+        }
+        let mut l = Vec::with_capacity(n + 1);
+        for j in 0..n {
+            let row_j = self.row(j);
+            let s = dot(&l[..j], &row_j[..j]);
+            l.push((row[j] - s) / row_j[j]);
+        }
+        let d = row[n] - dot(&l, &l);
+        if d <= 0.0 || !d.is_finite() {
+            return Err(StatsError::NotPositiveDefinite);
+        }
+        l.push(d.sqrt());
+        self.data.extend_from_slice(&l);
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Row `i` of the packed factor (entries `(i, 0..=i)`).
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        &self.data[row_offset(i)..row_offset(i) + i + 1]
+    }
+
+    /// The lower-triangular factor `L` as a dense matrix (zeros above the
+    /// diagonal). Intended for inspection and tests; the solves below work
+    /// on the packed representation directly.
+    pub fn factor(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            for (j, &v) in self.row(i).iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
     }
 
     /// Dimension of the decomposed matrix.
     pub fn dim(&self) -> usize {
-        self.factor.rows()
+        self.n
+    }
+
+    /// Forward substitution `L z = b` over one right-hand side held in
+    /// `z` in place.
+    fn forward_in_place(&self, z: &mut [f64]) {
+        for i in 0..self.n {
+            let row = self.row(i);
+            let s = dot(&row[..i], &z[..i]);
+            z[i] = (z[i] - s) / row[i];
+        }
     }
 
     /// Solves `A x = b` using forward then backward substitution.
@@ -82,30 +215,23 @@ impl Cholesky {
     /// Returns [`StatsError::DimensionMismatch`] when `b` has the wrong
     /// length.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
-        let n = self.dim();
+        let n = self.n;
         if b.len() != n {
             return Err(StatsError::DimensionMismatch {
                 expected: n,
                 actual: b.len(),
             });
         }
-        // Forward substitution: L z = b.
-        let mut z = vec![0.0; n];
-        for i in 0..n {
-            let mut sum = b[i];
-            for (k, zk) in z.iter().enumerate().take(i) {
-                sum -= self.factor.get(i, k) * zk;
-            }
-            z[i] = sum / self.factor.get(i, i);
-        }
-        // Backward substitution: Lᵀ x = z.
-        let mut x = vec![0.0; n];
+        let mut x = b.to_vec();
+        self.forward_in_place(&mut x);
+        // Backward substitution: Lᵀ x = z. Column i of L is a strided
+        // gather over the packed rows below i.
         for i in (0..n).rev() {
-            let mut sum = z[i];
-            for (k, xk) in x.iter().enumerate().take(n).skip(i + 1) {
-                sum -= self.factor.get(k, i) * xk;
+            let mut s = x[i];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.data[row_offset(k) + i] * xk;
             }
-            x[i] = sum / self.factor.get(i, i);
+            x[i] = s / self.data[row_offset(i) + i];
         }
         Ok(x)
     }
@@ -120,36 +246,61 @@ impl Cholesky {
     /// Returns [`StatsError::DimensionMismatch`] when `b` has the wrong
     /// length.
     pub fn forward_substitute(&self, b: &[f64]) -> Result<Vec<f64>> {
-        let n = self.dim();
-        if b.len() != n {
+        if b.len() != self.n {
             return Err(StatsError::DimensionMismatch {
-                expected: n,
+                expected: self.n,
                 actual: b.len(),
             });
         }
-        let mut z = vec![0.0; n];
-        for i in 0..n {
-            let mut sum = b[i];
-            for (k, zk) in z.iter().enumerate().take(i) {
-                sum -= self.factor.get(i, k) * zk;
-            }
-            z[i] = sum / self.factor.get(i, i);
-        }
+        let mut z = b.to_vec();
+        self.forward_in_place(&mut z);
         Ok(z)
+    }
+
+    /// Forward substitution over a block of `count` right-hand sides stored
+    /// row-major in `rhs` (`count × n`), solved in place.
+    ///
+    /// The factor is walked **once**: each factor row is applied to every
+    /// right-hand side while it is hot in cache, which is what makes batched
+    /// Gaussian-process prediction cheap. Each individual right-hand side
+    /// goes through exactly the arithmetic of
+    /// [`forward_substitute`](Cholesky::forward_substitute), so batched and
+    /// single-point results are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `rhs.len()` is not
+    /// `count * n`.
+    pub fn forward_substitute_batch(&self, rhs: &mut [f64], count: usize) -> Result<()> {
+        let n = self.n;
+        if rhs.len() != count * n {
+            return Err(StatsError::DimensionMismatch {
+                expected: count * n,
+                actual: rhs.len(),
+            });
+        }
+        for i in 0..n {
+            let row = self.row(i);
+            for z in rhs.chunks_exact_mut(n) {
+                let s = dot(&row[..i], &z[..i]);
+                z[i] = (z[i] - s) / row[i];
+            }
+        }
+        Ok(())
     }
 
     /// Log determinant of the original matrix, `2 Σ ln L_ii`.
     pub fn log_determinant(&self) -> f64 {
-        (0..self.dim())
-            .map(|i| self.factor.get(i, i).ln())
+        (0..self.n)
+            .map(|i| self.data[row_offset(i) + i].ln())
             .sum::<f64>()
             * 2.0
     }
 
     /// Reconstructs `A = L Lᵀ` (mainly useful for testing).
     pub fn reconstruct(&self) -> Matrix {
-        self.factor
-            .matmul(&self.factor.transpose())
+        let l = self.factor();
+        l.matmul(&l.transpose())
             .expect("factor dimensions are consistent by construction")
     }
 }
@@ -179,6 +330,20 @@ mod tests {
         assert!((l.get(2, 0) + 8.0).abs() < 1e-12);
         assert!((l.get(2, 1) - 5.0).abs() < 1e-12);
         assert!((l.get(2, 2) - 3.0).abs() < 1e-12);
+        assert!((l.get(0, 1)).abs() == 0.0 && (l.get(1, 2)).abs() == 0.0);
+    }
+
+    #[test]
+    fn decompose_packed_matches_dense_decompose() {
+        let a = spd_example();
+        let packed: Vec<f64> = (0..3).flat_map(|i| a.row(i)[..=i].to_vec()).collect();
+        let from_packed = Cholesky::decompose_packed(3, packed).unwrap();
+        let from_dense = Cholesky::decompose(&a).unwrap();
+        assert_eq!(from_packed, from_dense);
+        assert!(matches!(
+            Cholesky::decompose_packed(3, vec![0.0; 5]),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -231,6 +396,44 @@ mod tests {
         assert!((quad - norm).abs() < 1e-9);
     }
 
+    #[test]
+    fn batched_forward_substitution_is_bit_identical_to_single() {
+        let a = spd_example();
+        let chol = Cholesky::decompose(&a).unwrap();
+        let rhs_rows = [
+            vec![1.0, 2.0, 3.0],
+            vec![-0.5, 0.25, 4.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let mut flat: Vec<f64> = rhs_rows.iter().flatten().copied().collect();
+        chol.forward_substitute_batch(&mut flat, 3).unwrap();
+        for (r, b) in rhs_rows.iter().enumerate() {
+            let single = chol.forward_substitute(b).unwrap();
+            assert_eq!(&flat[r * 3..(r + 1) * 3], single.as_slice());
+        }
+        assert!(matches!(
+            chol.forward_substitute_batch(&mut [0.0; 4], 3),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn append_row_rejects_bad_input_and_keeps_factor_intact() {
+        let mut chol = Cholesky::decompose(&spd_example()).unwrap();
+        let before = chol.clone();
+        assert!(matches!(
+            chol.append_row(&[1.0, 2.0]),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+        // A duplicate of row 0 with the same diagonal makes the bordered
+        // matrix singular: the Schur complement is exactly zero.
+        assert_eq!(
+            chol.append_row(&[4.0, 12.0, -16.0, 4.0]).unwrap_err(),
+            StatsError::NotPositiveDefinite
+        );
+        assert_eq!(chol, before, "failed append must not corrupt the factor");
+    }
+
     proptest! {
         #[test]
         fn reconstruction_roundtrips_random_spd(values in proptest::collection::vec(-2.0f64..2.0, 9)) {
@@ -249,6 +452,29 @@ mod tests {
                     prop_assert!((a.get(i, j) - back.get(i, j)).abs() < 1e-8);
                 }
             }
+        }
+
+        #[test]
+        fn appending_rows_is_bit_identical_to_cold_factorization(
+            values in proptest::collection::vec(-2.0f64..2.0, 36),
+            split in 2usize..5,
+        ) {
+            // Random 6x6 SPD matrix A = B Bᵀ + 4 I.
+            let b = Matrix::from_fn(6, 6, |i, j| values[i * 6 + j]);
+            let mut a = b.matmul(&b.transpose()).unwrap();
+            a.add_diagonal(4.0);
+            let cold = Cholesky::decompose(&a).unwrap();
+            // Factorize the leading `split` block, then append the rest.
+            let mut incremental = Cholesky::decompose_packed(
+                split,
+                (0..split).flat_map(|i| a.row(i)[..=i].to_vec()).collect(),
+            ).unwrap();
+            for i in split..6 {
+                incremental.append_row(&a.row(i)[..=i]).unwrap();
+            }
+            // Bit-identical, not merely close: the bordered factorization
+            // performs the same operations in the same order.
+            prop_assert_eq!(cold, incremental);
         }
     }
 }

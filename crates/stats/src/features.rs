@@ -170,6 +170,12 @@ impl FeatureMatrix {
     pub fn clear(&mut self) {
         self.data.clear();
     }
+
+    /// Shortens the matrix to at most `rows` rows, keeping the allocation.
+    /// Has no effect when the matrix already holds `rows` rows or fewer.
+    pub fn truncate(&mut self, rows: usize) {
+        self.data.truncate(rows * self.dim);
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +243,17 @@ mod tests {
         assert_eq!(m.dim(), 2);
         m.push_row(&[7.0, 8.0]);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn truncate_drops_trailing_rows_only() {
+        let mut m =
+            FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        m.truncate(5);
+        assert_eq!(m.len(), 3);
+        m.truncate(1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
     }
 
     #[test]

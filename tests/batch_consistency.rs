@@ -56,7 +56,8 @@ proptest! {
         let reference_views: Vec<&[f64]> = query_views[..5].to_vec();
         for spec in all_specs() {
             let mut model = spec.build(seed);
-            model.fit(&xs, &ys).unwrap_or_else(|e| panic!("{spec}: fit failed: {e}"));
+            let views = alic::model::row_views(&xs);
+            model.fit(&views, &ys).unwrap_or_else(|e| panic!("{spec}: fit failed: {e}"));
 
             let batch = model.predict_batch(&query_views).unwrap();
             let alm = model.alm_scores(&query_views).unwrap();
@@ -100,7 +101,7 @@ fn toy_profiler(seed: u64) -> SimulatedProfiler {
     SimulatedProfiler::new(spec, seed)
 }
 
-fn run_learner() -> LearnerRun {
+fn run_learner(spec: SurrogateSpec) -> LearnerRun {
     let dataset = {
         let mut gen_profiler = toy_profiler(1);
         Dataset::generate(
@@ -126,24 +127,31 @@ fn run_learner() -> LearnerRun {
     };
     let mut profiler = toy_profiler(21);
     let mut learner = ActiveLearner::new(config, &mut profiler);
-    let mut model = SurrogateSpec::dynatree(50).build(13);
+    let mut model = spec.build(13);
     learner.run(model.as_mut(), &dataset, &split).unwrap()
 }
 
-/// The `RAYON_NUM_THREADS=1` vs `4` determinism guarantee. The shim's
-/// programmatic override stands in for the environment variable because
-/// `setenv` concurrent with worker-thread `getenv` is undefined behavior on
-/// glibc; `current_num_threads` reads the override exactly where it would
-/// read `RAYON_NUM_THREADS`.
+/// The `RAYON_NUM_THREADS=1` vs `4` determinism guarantee, for the dynamic
+/// tree (parallel tree traversals) and the Gaussian process (parallel
+/// blocked triangular solves). The shim's programmatic override stands in
+/// for the environment variable because `setenv` concurrent with
+/// worker-thread `getenv` is undefined behavior on glibc;
+/// `current_num_threads` reads the override exactly where it would read
+/// `RAYON_NUM_THREADS`.
 #[test]
 fn learner_runs_are_identical_across_thread_counts() {
-    rayon::set_num_threads(1);
-    let serial = run_learner();
-    rayon::set_num_threads(4);
-    let parallel = run_learner();
-    rayon::set_num_threads(0);
-    assert_eq!(serial.curve, parallel.curve);
-    assert_eq!(serial.ledger, parallel.ledger);
-    assert_eq!(serial.visited, parallel.visited);
-    assert_eq!(serial.iterations, parallel.iterations);
+    for spec in [
+        SurrogateSpec::dynatree(50),
+        SurrogateSpec::from_name("gp").unwrap(),
+    ] {
+        rayon::set_num_threads(1);
+        let serial = run_learner(spec);
+        rayon::set_num_threads(4);
+        let parallel = run_learner(spec);
+        rayon::set_num_threads(0);
+        assert_eq!(serial.curve, parallel.curve, "{spec}: curve diverged");
+        assert_eq!(serial.ledger, parallel.ledger, "{spec}: ledger diverged");
+        assert_eq!(serial.visited, parallel.visited, "{spec}: visits diverged");
+        assert_eq!(serial.iterations, parallel.iterations);
+    }
 }
