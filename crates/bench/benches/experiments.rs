@@ -7,7 +7,9 @@
 //! * `table2_kernel_row`  — one Table 2 row (variance / CI spreads),
 //! * `fig5_reduction`     — Figure 5 bar values derived from a comparison,
 //! * `fig6_curves`        — Figure 6 learning-curve extraction,
-//! * `ablation_acquisition` — the acquisition-function ablation.
+//! * `ablation_acquisition` — the acquisition-function ablation,
+//! * `campaign_runner`      — unit decomposition + execution + merge through
+//!   the campaign runner.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -80,6 +82,16 @@ fn bench_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_campaign_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_runner");
+    group.sample_size(10);
+    let spec = alic_bench::bench_campaign(10, 20, 20, 150);
+    group.bench_function("six_units_run_and_merge", |b| {
+        b.iter(|| alic_core::runner::run_campaign(black_box(&spec)).unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fig1,
@@ -87,6 +99,7 @@ criterion_group!(
     bench_table1,
     bench_table2,
     bench_fig5_and_fig6,
-    bench_ablation
+    bench_ablation,
+    bench_campaign_runner
 );
 criterion_main!(benches);

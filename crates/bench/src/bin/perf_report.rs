@@ -9,8 +9,12 @@
 //! states the speedup of the incremental GP and the batched training path
 //! directly.
 //!
+//! Since PR 4 the report also times the campaign-runner orchestration path
+//! (`campaign_run_*`): unit decomposition, work-stealing execution and the
+//! pure merge step over two kernels and the three sampling plans.
+//!
 //! ```text
-//! cargo run --release --bin perf_report                     # full scale -> BENCH_PR3.json
+//! cargo run --release --bin perf_report                     # full scale -> BENCH_PR4.json
 //! cargo run --release --bin perf_report -- --scale smoke --out /tmp/smoke.json
 //! cargo run --release --bin perf_report -- --scale smoke \
 //!     --baseline BENCH_PR2.json --max-regression 2.0       # CI regression gate
@@ -33,27 +37,28 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use alic_bench::{bench_dataset, bench_profiler, synthetic_training_data};
+use alic_bench::{bench_campaign, bench_dataset, bench_profiler, synthetic_training_data};
 use alic_core::acquisition::Acquisition;
 use alic_core::learner::{ActiveLearner, LearnerConfig};
 use alic_core::plan::SamplingPlan;
+use alic_core::runner::run_campaign;
 use alic_model::dynatree::{DynaTree, DynaTreeConfig};
 use alic_model::gp::GaussianProcess;
 use alic_model::{row_views, ActiveSurrogate, SurrogateModel};
 
-/// PR 2 baseline, measured with the PR 2 tree on the same machine (single
-/// core, release build, best of N) immediately before this PR's
-/// optimizations landed. The GP workloads were measured with an ad-hoc
-/// harness driving PR 2's `GaussianProcess` through the identical workload
-/// shapes. `None` marks workloads without a recorded baseline.
-const FULL_BASELINES: [(&str, Option<f64>); 7] = [
-    ("alc_scores_500x50_200p", Some(0.001196)),
-    ("dynatree_fit_1000x200p", Some(0.571766)),
-    ("dynatree_update_200x200p", Some(0.128026)),
-    ("learner_run_60it_500c_200p", Some(0.071026)),
-    ("gp_fit_1000", Some(0.156376)),
-    ("gp_update_200x300", Some(2.013142)),
-    ("gp_alc_500x50_300", Some(0.949977)),
+/// PR 3 baseline, measured on the same machine (single core, release build,
+/// best of N) from a worktree checkout of the PR 3 commit immediately before
+/// this PR landed. The campaign-runner workload is new in PR 4 and has no
+/// prior baseline. `None` marks workloads without a recorded baseline.
+const FULL_BASELINES: [(&str, Option<f64>); 8] = [
+    ("alc_scores_500x50_200p", Some(0.001213)),
+    ("dynatree_fit_1000x200p", Some(0.570713)),
+    ("dynatree_update_200x200p", Some(0.131718)),
+    ("learner_run_60it_500c_200p", Some(0.070892)),
+    ("gp_fit_1000", Some(0.111722)),
+    ("gp_update_200x300", Some(0.032779)),
+    ("gp_alc_500x50_300", Some(0.001360)),
+    ("campaign_run_6u_60it_200p", None),
 ];
 
 /// Workloads whose baseline is below this duration are reported but never
@@ -373,6 +378,41 @@ fn run_workloads(params: &ScaleParams) -> Vec<WorkloadResult> {
         });
     }
 
+    // 8. Campaign runner: decompose a two-kernel × three-plan matrix into
+    //    work units, execute them on the work-stealing pool, merge. This is
+    //    the orchestration path every experiment binary (and the sharded
+    //    `campaign` CLI) now runs through; the workload tracks its overhead
+    //    over the bare learner runs it wraps.
+    {
+        let spec = bench_campaign(
+            params.learner_iterations,
+            params.learner_candidates,
+            params.particles,
+            params.learner_pool,
+        );
+        let units = spec.unit_count();
+        let seconds = time_workload(
+            || {
+                std::hint::black_box(run_campaign(&spec).unwrap());
+            },
+            params.reps_heavy,
+        );
+        let name = format!(
+            "campaign_run_{units}u_{}it_{}p",
+            params.learner_iterations, params.particles
+        );
+        results.push(WorkloadResult {
+            description: format!(
+                "campaign of {units} units (2 kernels x 3 plans): unit execution + merge, \
+                 {} iterations, {} particles",
+                params.learner_iterations, params.particles
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+    }
+
     results
 }
 
@@ -380,7 +420,7 @@ fn render_json(scale_label: &str, results: &[WorkloadResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"alic-perf-report/v1\",");
-    let _ = writeln!(out, "  \"pr\": 3,");
+    let _ = writeln!(out, "  \"pr\": 4,");
     let _ = writeln!(out, "  \"scale\": \"{scale_label}\",");
     let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
     out.push_str("  \"workloads\": [\n");
@@ -468,7 +508,7 @@ fn load_report_workloads(path: &str) -> Vec<WorkloadResult> {
 
 fn main() {
     let mut scale = std::env::var("ALIC_PERF_SCALE").unwrap_or_else(|_| "full".to_string());
-    let mut out_path = "BENCH_PR3.json".to_string();
+    let mut out_path = "BENCH_PR4.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut merge_path: Option<String> = None;
     let mut max_regression: Option<f64> = None;

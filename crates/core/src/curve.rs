@@ -157,7 +157,12 @@ pub fn common_cost_grid(curve_sets: &[&[LearningCurve]], resolution: usize) -> O
             end = end.min(last);
         }
     }
-    if end.partial_cmp(&start) != Some(std::cmp::Ordering::Greater) || resolution < 2 {
+    // `end` stays infinite when no curve set contributed a point (empty
+    // outer slice, or only empty inner slices): there is no overlap to grid.
+    if !end.is_finite()
+        || end.partial_cmp(&start) != Some(std::cmp::Ordering::Greater)
+        || resolution < 2
+    {
         return None;
     }
     let step = (end - start) / (resolution - 1) as f64;
@@ -253,6 +258,67 @@ mod tests {
         let a = vec![curve(&[(1.0, 0.5), (2.0, 0.2)])];
         let b = vec![curve(&[(5.0, 0.6), (8.0, 0.3)])];
         assert!(common_cost_grid(&[&a, &b], 5).is_none());
+    }
+
+    #[test]
+    fn single_point_curves_have_no_common_grid() {
+        // A curve whose first and last evaluation coincide spans a zero-width
+        // cost range: there is no interval over which all curves are active.
+        let a = vec![curve(&[(3.0, 0.5)])];
+        let b = vec![curve(&[(1.0, 0.6), (8.0, 0.3)])];
+        assert!(common_cost_grid(&[&a, &b], 5).is_none());
+        // Two single-point curves at the same cost still give a degenerate
+        // (zero-width) range.
+        let c = vec![curve(&[(3.0, 0.7)])];
+        assert!(common_cost_grid(&[&a, &c], 5).is_none());
+    }
+
+    #[test]
+    fn empty_curve_sets_have_no_common_grid() {
+        // No curve sets at all, and sets containing an empty curve, both
+        // mean "no overlap", not an unbounded grid.
+        assert!(common_cost_grid(&[], 5).is_none());
+        let empty: Vec<LearningCurve> = vec![LearningCurve::new()];
+        assert!(common_cost_grid(&[&empty], 5).is_none());
+        let full = vec![curve(&[(1.0, 0.5), (2.0, 0.4)])];
+        assert!(common_cost_grid(&[&full, &empty], 5).is_none());
+    }
+
+    #[test]
+    fn resolution_below_two_gives_no_grid() {
+        let a = vec![curve(&[(1.0, 0.5), (10.0, 0.2)])];
+        assert!(common_cost_grid(&[&a], 1).is_none());
+        assert!(common_cost_grid(&[&a], 0).is_none());
+    }
+
+    #[test]
+    fn averaging_without_runs_gives_nan_means() {
+        let averaged = average_curves(&[], &[1.0, 2.0]);
+        assert_eq!(averaged.costs, vec![1.0, 2.0]);
+        assert!(averaged.mean_rmse.iter().all(|r| r.is_nan()));
+        // Empty curves are skipped, not counted as zero.
+        let with_empty = vec![LearningCurve::new(), curve(&[(1.0, 0.4)])];
+        let averaged = average_curves(&with_empty, &[1.5]);
+        assert_eq!(averaged.mean_rmse, vec![0.4]);
+    }
+
+    #[test]
+    fn averaging_on_an_empty_grid_is_empty() {
+        let runs = vec![curve(&[(1.0, 0.4), (2.0, 0.2)])];
+        let averaged = average_curves(&runs, &[]);
+        assert!(averaged.costs.is_empty());
+        assert!(averaged.mean_rmse.is_empty());
+        assert!(averaged.best_rmse().is_none());
+        assert!(averaged.cost_to_reach(0.1).is_none());
+    }
+
+    #[test]
+    fn averaging_single_point_curves_carries_the_value_everywhere() {
+        let runs = vec![curve(&[(2.0, 0.5)]), curve(&[(4.0, 0.3)])];
+        // Before either curve starts, each contributes its first RMSE; after,
+        // the single evaluation is carried forward.
+        let averaged = average_curves(&runs, &[1.0, 3.0, 9.0]);
+        assert_eq!(averaged.mean_rmse, vec![0.4, 0.4, 0.4]);
     }
 
     #[test]

@@ -8,18 +8,14 @@
 //! ratio of the baseline's cost to the variable plan's cost is the paper's
 //! "reduction of profiling cost" (speed-up).
 
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use alic_data::dataset::{Dataset, DatasetConfig};
-use alic_data::split::TrainTestSplit;
+use alic_data::dataset::DatasetConfig;
 use alic_model::SurrogateSpec;
 use alic_sim::kernel::KernelSpec;
-use alic_sim::profiler::SimulatedProfiler;
-use alic_stats::rng::derive_seed;
 
 use crate::curve::{average_curves, common_cost_grid, AveragedCurve, LearningCurve};
-use crate::learner::{ActiveLearner, LearnerConfig, LearnerRun};
+use crate::learner::{LearnerConfig, LearnerRun};
 use crate::plan::SamplingPlan;
 use crate::Result;
 
@@ -205,31 +201,47 @@ impl ComparisonOutcome {
 
 /// Runs the full plan comparison for one simulated kernel.
 ///
+/// Since the campaign-runner refactor this is a thin wrapper over a
+/// single-kernel, single-model [`CampaignSpec`](crate::runner::CampaignSpec):
+/// one work unit per `(plan, repetition)` pair, executed on the
+/// work-stealing pool with deterministic per-unit derived seeds
+/// ([`runner::execute_unit`](crate::runner::execute_unit)), then folded by
+/// the pure merge step [`assemble_outcome`]. Larger matrices — many kernels,
+/// many model families, sharded across processes with on-disk checkpoints —
+/// use the [`runner`](crate::runner) API directly.
+///
 /// # Errors
 ///
 /// Propagates learner errors (for example inconsistent configurations).
 pub fn compare_plans(spec: &KernelSpec, config: &ComparisonConfig) -> Result<ComparisonOutcome> {
-    // One dataset per kernel, shared by every plan and repetition, exactly as
-    // in the paper (§4.5).
-    let mut dataset_profiler = SimulatedProfiler::new(spec.clone(), derive_seed(config.seed, 1));
-    let dataset = Dataset::generate(&mut dataset_profiler, &config.dataset);
-    let train_size = config.train_size.min(dataset.len().saturating_sub(1));
-    let split = dataset.split(train_size, derive_seed(config.seed, 2));
+    let campaign = crate::runner::CampaignSpec::single(spec.clone(), config.clone());
+    let report = crate::runner::run_campaign(&campaign)?;
+    let entry = report
+        .entries
+        .into_iter()
+        .next()
+        .expect("a single-cell campaign produces exactly one entry");
+    Ok(entry.outcome)
+}
 
-    // One job per (plan, repetition) pair, flattened so that the worker
-    // threads stay busy across plan boundaries (a cheap plan never leaves the
-    // pool idle while an expensive one finishes). Each job derives its own
-    // seeds, so results are deterministic and independent of the thread
-    // count.
-    let jobs: Vec<(SamplingPlan, u64)> = config
-        .plans
-        .iter()
-        .flat_map(|&plan| (0..config.repetitions as u64).map(move |rep| (plan, rep)))
-        .collect();
-    let all_runs: Vec<LearnerRun> = jobs
-        .into_par_iter()
-        .map(|(plan, rep)| run_single(spec, config, &dataset, &split, plan, rep))
-        .collect::<Result<_>>()?;
+/// The pure merge step of a plan comparison: folds the flat run list of one
+/// `(kernel, model)` cell — plan-major, repetitions in ascending order, as
+/// produced by the campaign unit layout — into averaged curves and the
+/// Table 1 statistics.
+///
+/// Being a pure function of the unit results, it can run long after (and on
+/// a different machine than) the units themselves; the campaign runner's
+/// `--merge` step and the in-process [`compare_plans`] path both end here,
+/// which is what makes sharded-and-merged campaigns byte-identical to
+/// single-process runs.
+///
+/// Runs beyond `plans × repetitions` are ignored; missing runs yield empty
+/// plan results (campaign merges validate completeness before calling this).
+pub fn assemble_outcome(
+    kernel: &str,
+    config: &ComparisonConfig,
+    all_runs: Vec<LearnerRun>,
+) -> ComparisonOutcome {
     let mut runs_iter = all_runs.into_iter();
     let plan_runs: Vec<(SamplingPlan, Vec<LearnerRun>)> = config
         .plans
@@ -272,36 +284,12 @@ pub fn compare_plans(spec: &KernelSpec, config: &ComparisonConfig) -> Result<Com
         .map(|p| p.averaged.cost_to_reach(lowest_common_rmse))
         .collect();
 
-    Ok(ComparisonOutcome {
-        kernel: spec.name().to_string(),
+    ComparisonOutcome {
+        kernel: kernel.to_string(),
         plans,
         lowest_common_rmse,
         cost_to_common_rmse,
-    })
-}
-
-fn run_single(
-    spec: &KernelSpec,
-    config: &ComparisonConfig,
-    dataset: &Dataset,
-    split: &TrainTestSplit,
-    plan: SamplingPlan,
-    repetition: u64,
-) -> Result<LearnerRun> {
-    let seed = derive_seed(config.seed, 1000 + repetition);
-    let mut profiler = SimulatedProfiler::new(spec.clone(), derive_seed(seed, 3));
-    let learner_config = LearnerConfig {
-        plan,
-        // Fixed plans take all their observations per visit; the cap of the
-        // sequential plan doubles as the seed observation count so that all
-        // plans start from equally accurate seed data.
-        initial_observations: config.learner.initial_observations,
-        seed: derive_seed(seed, 4),
-        ..config.learner
-    };
-    let mut model = config.model.build(derive_seed(seed, 5));
-    let mut learner = ActiveLearner::new(learner_config, &mut profiler);
-    learner.run(model.as_mut(), dataset, split)
+    }
 }
 
 #[cfg(test)]

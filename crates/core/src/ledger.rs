@@ -24,13 +24,35 @@ impl CostLedger {
         CostLedger::default()
     }
 
-    /// Records one measurement.
+    /// Reconstructs a ledger from previously captured state — the inverse of
+    /// the [`run_seconds`](CostLedger::run_seconds) /
+    /// [`compile_seconds`](CostLedger::compile_seconds) /
+    /// [`runs`](CostLedger::runs) / [`compilations`](CostLedger::compilations)
+    /// accessors. Used by the campaign ledger codec to restore checkpointed
+    /// unit records bit-exactly.
+    pub fn from_parts(
+        run_seconds: f64,
+        compile_seconds: f64,
+        runs: u64,
+        compilations: u64,
+    ) -> Self {
+        CostLedger {
+            run_seconds,
+            compile_seconds,
+            runs,
+            compilations,
+        }
+    }
+
+    /// Records one measurement. The run/compilation counters saturate at
+    /// `u64::MAX` instead of wrapping, so a pathological campaign can never
+    /// report a *small* count after overflowing.
     pub fn record(&mut self, measurement: &Measurement) {
         self.run_seconds += measurement.runtime;
         self.compile_seconds += measurement.compile_time;
-        self.runs += 1;
+        self.runs = self.runs.saturating_add(1);
         if measurement.compiled {
-            self.compilations += 1;
+            self.compilations = self.compilations.saturating_add(1);
         }
     }
 
@@ -59,12 +81,12 @@ impl CostLedger {
         self.compilations
     }
 
-    /// Merges another ledger into this one.
+    /// Merges another ledger into this one. Counters saturate at `u64::MAX`.
     pub fn merge(&mut self, other: &CostLedger) {
         self.run_seconds += other.run_seconds;
         self.compile_seconds += other.compile_seconds;
-        self.runs += other.runs;
-        self.compilations += other.compilations;
+        self.runs = self.runs.saturating_add(other.runs);
+        self.compilations = self.compilations.saturating_add(other.compilations);
     }
 }
 
@@ -110,5 +132,33 @@ mod tests {
         let ledger = CostLedger::new();
         assert_eq!(ledger.total_seconds(), 0.0);
         assert_eq!(ledger.runs(), 0);
+    }
+
+    #[test]
+    fn from_parts_restores_the_accessors_exactly() {
+        let mut original = CostLedger::new();
+        original.record(&measurement(0.1 + 0.2, 1.0 / 3.0, true));
+        original.record(&measurement(1e-300, 0.0, false));
+        let restored = CostLedger::from_parts(
+            original.run_seconds(),
+            original.compile_seconds(),
+            original.runs(),
+            original.compilations(),
+        );
+        assert_eq!(restored, original);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut ledger = CostLedger::from_parts(1.0, 1.0, u64::MAX - 1, u64::MAX);
+        ledger.record(&measurement(1.0, 0.5, true));
+        ledger.record(&measurement(1.0, 0.5, true));
+        assert_eq!(ledger.runs(), u64::MAX);
+        assert_eq!(ledger.compilations(), u64::MAX);
+
+        let mut merged = CostLedger::from_parts(0.0, 0.0, u64::MAX, 5);
+        merged.merge(&ledger);
+        assert_eq!(merged.runs(), u64::MAX);
+        assert_eq!(merged.compilations(), u64::MAX);
     }
 }

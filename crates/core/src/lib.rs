@@ -62,6 +62,7 @@ pub mod experiment;
 pub mod learner;
 pub mod ledger;
 pub mod plan;
+pub mod runner;
 
 /// Convenient re-exports of the types needed to drive the learner.
 pub mod prelude {
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use crate::learner::{ActiveLearner, LearnerConfig, LearnerRun};
     pub use crate::ledger::CostLedger;
     pub use crate::plan::SamplingPlan;
+    pub use crate::runner::{CampaignLedger, CampaignReport, CampaignSpec};
     pub use crate::CoreError;
     pub use alic_model::SurrogateSpec;
 }
@@ -99,6 +101,14 @@ pub enum CoreError {
         /// How many items were available.
         available: usize,
     },
+    /// Campaign orchestration failed: an incomplete ledger was merged, a
+    /// ledger belongs to a differently configured campaign, or a
+    /// checkpointed record is corrupt.
+    Campaign(String),
+    /// An I/O operation on the campaign ledger failed.
+    Io(std::io::Error),
+    /// JSON (de)serialization through `alic-data` failed.
+    Data(alic_data::DataError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -113,6 +123,9 @@ impl std::fmt::Display for CoreError {
                     "needed {needed} items but only {available} are available"
                 )
             }
+            CoreError::Campaign(msg) => write!(f, "campaign error: {msg}"),
+            CoreError::Io(e) => write!(f, "campaign ledger I/O failed: {e}"),
+            CoreError::Data(e) => write!(f, "campaign serialization failed: {e}"),
         }
     }
 }
@@ -122,6 +135,8 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Model(e) => Some(e),
             CoreError::Stats(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            CoreError::Data(e) => Some(e),
             _ => None,
         }
     }
@@ -136,6 +151,18 @@ impl From<alic_model::ModelError> for CoreError {
 impl From<alic_stats::StatsError> for CoreError {
     fn from(e: alic_stats::StatsError) -> Self {
         CoreError::Stats(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+impl From<alic_data::DataError> for CoreError {
+    fn from(e: alic_data::DataError) -> Self {
+        CoreError::Data(e)
     }
 }
 

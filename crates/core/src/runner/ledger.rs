@@ -1,0 +1,374 @@
+//! The on-disk campaign ledger: checkpointed unit records plus a manifest.
+//!
+//! A ledger is a directory with this layout:
+//!
+//! ```text
+//! <dir>/
+//!   manifest.json           # campaign fingerprint + matrix description
+//!   report.json             # written by the merge step, canonical JSON
+//!   units/
+//!     unit-000000.json      # one checkpointed unit record each
+//!     unit-000001.json
+//!     ...
+//! ```
+//!
+//! Unit records are written to a temporary file and atomically renamed into
+//! place, so a killed process can never leave a torn record — on resume, a
+//! unit either exists completely or is re-run. Because unit results are
+//! deterministic, even two processes racing on the same unit converge on
+//! identical bytes. Stray `*.tmp` files from kills are ignored (and are not
+//! counted as completed units).
+//!
+//! The manifest pins the campaign's [`fingerprint`](CampaignSpec::fingerprint);
+//! opening a ledger directory with a differently configured campaign is an
+//! error, which prevents silently merging units from incompatible runs.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use alic_data::io::JsonValue;
+
+use crate::runner::{codec, CampaignReport, CampaignSpec, UnitRecord};
+use crate::{CoreError, Result};
+
+/// Schema tag of the ledger manifest.
+pub const MANIFEST_SCHEMA: &str = "alic-campaign-manifest/v1";
+
+const MANIFEST_FILE: &str = "manifest.json";
+const REPORT_FILE: &str = "report.json";
+const UNITS_DIR: &str = "units";
+
+/// Handle on a campaign ledger directory.
+#[derive(Debug, Clone)]
+pub struct CampaignLedger {
+    dir: PathBuf,
+}
+
+impl CampaignLedger {
+    /// Opens (creating if necessary) the ledger at `dir` for `spec`.
+    ///
+    /// A fresh directory gets a manifest describing the campaign; an
+    /// existing one must carry a matching manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the directory cannot be created, and
+    /// [`CoreError::Campaign`] when an existing manifest belongs to a
+    /// differently configured campaign.
+    pub fn open(dir: impl Into<PathBuf>, spec: &CampaignSpec) -> Result<Self> {
+        spec.validate()?;
+        let dir = dir.into();
+        fs::create_dir_all(dir.join(UNITS_DIR))?;
+        let ledger = CampaignLedger { dir };
+        let manifest = manifest_json(spec)?;
+        let path = ledger.manifest_path();
+        if path.exists() {
+            let existing = JsonValue::parse(&fs::read_to_string(&path)?)?;
+            validate_manifest(&existing, &manifest, &path)?;
+        } else {
+            write_atomic(&path, &(manifest.to_json_string()? + "\n"))?;
+        }
+        Ok(ledger)
+    }
+
+    /// The ledger directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the manifest file.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_FILE)
+    }
+
+    /// Path of the merged report file.
+    pub fn report_path(&self) -> PathBuf {
+        self.dir.join(REPORT_FILE)
+    }
+
+    fn unit_path(&self, index: usize) -> PathBuf {
+        self.dir
+            .join(UNITS_DIR)
+            .join(format!("unit-{index:06}.json"))
+    }
+
+    /// The indices of all completely checkpointed units (torn `*.tmp` files
+    /// and foreign names are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the units directory cannot be read.
+    pub fn completed(&self) -> Result<BTreeSet<usize>> {
+        let mut completed = BTreeSet::new();
+        for entry in fs::read_dir(self.dir.join(UNITS_DIR))? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(index) = name
+                .strip_prefix("unit-")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|digits| digits.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            completed.insert(index);
+        }
+        Ok(completed)
+    }
+
+    /// Checkpoints one completed unit atomically (write to `*.tmp`, then
+    /// rename into place).
+    ///
+    /// # Errors
+    ///
+    /// Returns serialization or I/O errors.
+    pub fn record(&self, record: &UnitRecord) -> Result<()> {
+        let json = codec::unit_record_to_json_string(record)? + "\n";
+        write_atomic(&self.unit_path(record.index), &json)
+    }
+
+    /// Loads one checkpointed unit record.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the record is missing, malformed, or indexed
+    /// inconsistently with its file name.
+    pub fn load_unit(&self, index: usize) -> Result<UnitRecord> {
+        let path = self.unit_path(index);
+        let text = fs::read_to_string(&path).map_err(|e| {
+            CoreError::Campaign(format!("cannot read unit record {}: {e}", path.display()))
+        })?;
+        let record = codec::unit_record_from_json_str(&text)?;
+        if record.index != index {
+            return Err(CoreError::Campaign(format!(
+                "unit record {} claims index {} (ledger corrupted?)",
+                path.display(),
+                record.index
+            )));
+        }
+        Ok(record)
+    }
+
+    /// Loads the complete unit set of the campaign, erroring when any unit
+    /// is missing (an incomplete campaign cannot be merged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Campaign`] listing the first missing units, or
+    /// any record parse error.
+    pub fn load_all(&self, spec: &CampaignSpec) -> Result<Vec<UnitRecord>> {
+        let expected = spec.unit_count();
+        let completed = self.completed()?;
+        let missing: Vec<usize> = (0..expected)
+            .filter(|i| !completed.contains(i))
+            .take(9)
+            .collect();
+        if !missing.is_empty() {
+            let shown: Vec<String> = missing.iter().take(8).map(|i| i.to_string()).collect();
+            let ellipsis = if missing.len() > 8 { ", ..." } else { "" };
+            return Err(CoreError::Campaign(format!(
+                "campaign is incomplete: {} of {expected} units checkpointed \
+                 (missing units: {}{ellipsis}) — finish it with --resume before merging",
+                completed.iter().filter(|&&i| i < expected).count(),
+                shown.join(", ")
+            )));
+        }
+        let indices: Vec<usize> = (0..expected).collect();
+        // Loading is pure per-unit work; reuse the work-stealing pool.
+        crate::runner::map_units(&indices, |&i| self.load_unit(i))
+            .into_iter()
+            .collect()
+    }
+
+    /// Writes the merged report as canonical JSON (plus a trailing newline)
+    /// to `report.json`, atomically, and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns serialization or I/O errors.
+    pub fn write_report(&self, report: &CampaignReport) -> Result<PathBuf> {
+        let path = self.report_path();
+        write_atomic(&path, &(report.to_json_string()? + "\n"))?;
+        Ok(path)
+    }
+}
+
+fn write_atomic(path: &Path, contents: &str) -> Result<()> {
+    // The temp name is unique per process and write, so two processes
+    // racing on the same file (e.g. both creating the manifest of a fresh
+    // ledger, or overlapping --resume invocations re-running one unit)
+    // each rename a *complete* — and, units being deterministic, identical —
+    // file into place; neither can observe or clobber the other's
+    // half-written temp.
+    static WRITE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let serial = WRITE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp-{}-{serial}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })?;
+    Ok(())
+}
+
+fn manifest_json(spec: &CampaignSpec) -> Result<JsonValue> {
+    let names =
+        |items: Vec<String>| JsonValue::Array(items.into_iter().map(JsonValue::String).collect());
+    Ok(JsonValue::Object(vec![
+        (
+            "schema".to_string(),
+            JsonValue::String(MANIFEST_SCHEMA.to_string()),
+        ),
+        (
+            "fingerprint".to_string(),
+            JsonValue::String(format!("{:016x}", spec.fingerprint())),
+        ),
+        ("units".to_string(), codec::int(spec.unit_count() as u64)?),
+        (
+            "kernels".to_string(),
+            names(spec.kernels.iter().map(|k| k.name().to_string()).collect()),
+        ),
+        (
+            "models".to_string(),
+            names(spec.models.iter().map(|m| m.name().to_string()).collect()),
+        ),
+        (
+            "plans".to_string(),
+            names(spec.base.plans.iter().map(|p| p.label()).collect()),
+        ),
+        (
+            "repetitions".to_string(),
+            codec::int(spec.base.repetitions as u64)?,
+        ),
+        ("seed".to_string(), codec::int(spec.base.seed)?),
+    ]))
+}
+
+fn validate_manifest(existing: &JsonValue, wanted: &JsonValue, path: &Path) -> Result<()> {
+    let schema = existing.field("schema")?.as_str()?;
+    if schema != MANIFEST_SCHEMA {
+        return Err(CoreError::Campaign(format!(
+            "{} has schema '{schema}' (expected '{MANIFEST_SCHEMA}')",
+            path.display()
+        )));
+    }
+    let existing_print = existing.field("fingerprint")?.as_str()?;
+    let wanted_print = wanted.field("fingerprint")?.as_str()?;
+    if existing_print != wanted_print {
+        return Err(CoreError::Campaign(format!(
+            "campaign ledger {} was written by a differently configured campaign \
+             (fingerprint {existing_print}, this campaign is {wanted_print}); \
+             use a fresh --dir or rerun with the original configuration",
+            path.display()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::tests::tiny_campaign;
+    use crate::runner::{assemble_report, execute_units, run_campaign};
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "alic-campaign-ledger-{label}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpointed_campaign_merges_identically_to_in_memory() {
+        let spec = tiny_campaign();
+        let dir = temp_dir("roundtrip");
+        let ledger = CampaignLedger::open(&dir, &spec).unwrap();
+
+        let indices: Vec<usize> = (0..spec.unit_count()).collect();
+        let sink = |record: &UnitRecord| ledger.record(record);
+        execute_units(&spec, &indices, &sink).unwrap();
+
+        // A stray torn tmp file from a kill must not confuse the ledger.
+        fs::write(dir.join("units").join("unit-000001.json.tmp"), "{gar").unwrap();
+        fs::write(dir.join("units").join("README"), "not a unit").unwrap();
+
+        assert_eq!(ledger.completed().unwrap().len(), spec.unit_count());
+        let merged = assemble_report(&spec, ledger.load_all(&spec).unwrap()).unwrap();
+        let baseline = run_campaign(&spec).unwrap();
+        assert_eq!(merged, baseline);
+        assert_eq!(
+            merged.to_json_string().unwrap(),
+            baseline.to_json_string().unwrap()
+        );
+
+        let report_path = ledger.write_report(&merged).unwrap();
+        let on_disk = fs::read_to_string(report_path).unwrap();
+        assert_eq!(on_disk, baseline.to_json_string().unwrap() + "\n");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incomplete_campaigns_cannot_be_merged() {
+        let spec = tiny_campaign();
+        let dir = temp_dir("incomplete");
+        let ledger = CampaignLedger::open(&dir, &spec).unwrap();
+        let sink = |record: &UnitRecord| ledger.record(record);
+        execute_units(&spec, &[0, 2, 5], &sink).unwrap();
+
+        assert_eq!(
+            ledger
+                .completed()
+                .unwrap()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![0, 2, 5]
+        );
+        let err = ledger.load_all(&spec).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("incomplete"), "{message}");
+        assert!(message.contains("--resume"), "{message}");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_campaigns_are_rejected_on_open() {
+        let spec = tiny_campaign();
+        let dir = temp_dir("mismatch");
+        CampaignLedger::open(&dir, &spec).unwrap();
+
+        let mut other = tiny_campaign();
+        other.base.seed += 1;
+        let err = CampaignLedger::open(&dir, &other).unwrap_err();
+        assert!(err.to_string().contains("differently configured"), "{err}");
+        // The original campaign still opens fine.
+        CampaignLedger::open(&dir, &spec).unwrap();
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_unit_records_are_reported() {
+        let spec = tiny_campaign();
+        let dir = temp_dir("corrupt");
+        let ledger = CampaignLedger::open(&dir, &spec).unwrap();
+        fs::write(dir.join("units").join("unit-000000.json"), "{broken").unwrap();
+        assert!(ledger.load_unit(0).is_err());
+        // A record whose body disagrees with its file name is corruption too.
+        let sink = |record: &UnitRecord| ledger.record(record);
+        execute_units(&spec, &[3], &sink).unwrap();
+        fs::copy(
+            dir.join("units").join("unit-000003.json"),
+            dir.join("units").join("unit-000004.json"),
+        )
+        .unwrap();
+        assert!(ledger.load_unit(4).is_err());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,11 +1,17 @@
-//! Dataset serialization.
+//! Dataset serialization and the workspace's generic JSON substrate.
 //!
 //! Datasets are expensive to profile (the paper's took days of machine time),
 //! so being able to save and reload them is essential. JSON is used for
 //! portability and easy inspection. Because the build environment has no
-//! registry access, the JSON codec is hand-written for the one concrete type
-//! that needs it ([`Dataset`]) instead of going through `serde_json`; the
-//! format is plain JSON and stays loadable by any external tool.
+//! registry access, the JSON codec is hand-written instead of going through
+//! `serde_json`; the format is plain JSON and stays loadable by any external
+//! tool.
+//!
+//! Besides the [`Dataset`] codec, the module exposes the underlying parser
+//! and a canonical writer as [`JsonValue`], which downstream crates use to
+//! hand-roll their own codecs (most importantly the campaign ledger in
+//! `alic-core::runner`, whose byte-identical shard/resume/merge guarantee
+//! depends on the writer's deterministic, shortest-round-trip output).
 
 use std::fmt::Write as _;
 use std::fs::File;
@@ -127,7 +133,7 @@ pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset> {
     read_dataset(BufReader::new(file))
 }
 
-// --- Minimal recursive-descent JSON parser for the dataset schema. ----------
+// --- Minimal recursive-descent JSON parser and canonical writer. ------------
 
 /// Maximum container nesting the parser accepts. The dataset schema needs a
 /// depth of three; the bound turns adversarially nested input into a parse
@@ -135,38 +141,71 @@ pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset> {
 const MAX_DEPTH: usize = 128;
 
 fn parse_dataset(text: &str) -> Result<Dataset> {
-    let mut parser = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-        depth: 0,
-    };
-    parser.skip_whitespace();
-    let value = parser.parse_value()?;
-    parser.skip_whitespace();
-    if parser.pos != parser.bytes.len() {
-        return Err(parse_error("trailing characters after the JSON document"));
-    }
-    dataset_from_value(&value)
+    dataset_from_value(&JsonValue::parse(text)?)
 }
 
 fn parse_error(message: impl Into<String>) -> DataError {
     DataError::Parse(message.into())
 }
 
+/// A parsed JSON document.
+///
+/// This is the workspace's registry-free substitute for `serde_json::Value`
+/// (the vendored `serde` is a no-op marker): a plain tree with a strict
+/// parser ([`JsonValue::parse`]) and a canonical writer
+/// ([`JsonValue::to_json_string`]). Object fields keep their insertion
+/// order, numbers are `f64` (exact for integers up to 2^53), and the writer
+/// emits the shortest float representation that round-trips bit-exactly —
+/// the property the campaign ledger's byte-identical merge guarantee rests
+/// on.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub enum JsonValue {
+    /// A JSON number (always stored as `f64`).
     Number(f64),
+    /// A JSON string.
     String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
+    /// A JSON array.
+    Array(Vec<JsonValue>),
+    /// A JSON object; fields keep their insertion order.
+    Object(Vec<(String, JsonValue)>),
+    /// A JSON boolean.
     Bool(bool),
+    /// The JSON `null` literal.
     Null,
 }
 
-impl Json {
-    fn field<'a>(&'a self, name: &str) -> Result<&'a Json> {
+impl JsonValue {
+    /// Parses a complete JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Parse`] on malformed input, trailing characters,
+    /// nesting beyond an internal depth bound, or numbers outside the finite
+    /// `f64` range.
+    pub fn parse(text: &str) -> Result<JsonValue> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parse_error("trailing characters after the JSON document"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a field of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error when `self` is not an object or the field is
+    /// missing.
+    pub fn field<'a>(&'a self, name: &str) -> Result<&'a JsonValue> {
         match self {
-            Json::Object(fields) => fields
+            JsonValue::Object(fields) => fields
                 .iter()
                 .find(|(key, _)| key == name)
                 .map(|(_, value)| value)
@@ -177,36 +216,138 @@ impl Json {
         }
     }
 
-    fn as_f64(&self) -> Result<f64> {
+    /// The value as a number.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error when the value is not a number.
+    pub fn as_f64(&self) -> Result<f64> {
         match self {
-            Json::Number(n) => Ok(*n),
+            JsonValue::Number(n) => Ok(*n),
             _ => Err(parse_error("expected a number")),
         }
     }
 
-    fn as_usize(&self) -> Result<usize> {
-        // Everything above 2^53 has already lost integer precision in f64
-        // (and `as usize` would silently saturate), so reject it.
-        const MAX_EXACT_INTEGER: f64 = 9_007_199_254_740_992.0;
-        let n = self.as_f64()?;
-        if n < 0.0 || n.fract() != 0.0 || n > MAX_EXACT_INTEGER {
-            return Err(parse_error("expected a non-negative integer"));
-        }
-        usize::try_from(n as u64).map_err(|_| parse_error("integer out of range"))
+    /// The value as a non-negative integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error when the value is not a non-negative integer
+    /// representable exactly in `f64`.
+    pub fn as_usize(&self) -> Result<usize> {
+        usize::try_from(self.as_u64()?).map_err(|_| parse_error("integer out of range"))
     }
 
-    fn as_array(&self) -> Result<&[Json]> {
+    /// Largest integer representable exactly in the `f64` numbers of a
+    /// [`JsonValue`] (2^53). [`JsonValue::as_u64`] rejects anything larger;
+    /// codecs built on this type must enforce the same bound when encoding
+    /// so that every value they write can be read back.
+    pub const MAX_EXACT_INTEGER: u64 = 1 << 53;
+
+    /// The value as a non-negative 64-bit integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error when the value is not a non-negative integer
+    /// representable exactly in `f64` (everything above
+    /// [`JsonValue::MAX_EXACT_INTEGER`] has lost integer precision, and
+    /// `as u64` would silently saturate).
+    pub fn as_u64(&self) -> Result<u64> {
+        let n = self.as_f64()?;
+        if n < 0.0 || n.fract() != 0.0 || n > Self::MAX_EXACT_INTEGER as f64 {
+            return Err(parse_error("expected a non-negative integer"));
+        }
+        Ok(n as u64)
+    }
+
+    /// The value as an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error when the value is not an array.
+    pub fn as_array(&self) -> Result<&[JsonValue]> {
         match self {
-            Json::Array(items) => Ok(items),
+            JsonValue::Array(items) => Ok(items),
             _ => Err(parse_error("expected an array")),
         }
     }
 
-    fn as_str(&self) -> Result<&str> {
+    /// The value as a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error when the value is not a string.
+    pub fn as_str(&self) -> Result<&str> {
         match self {
-            Json::String(s) => Ok(s),
+            JsonValue::String(s) => Ok(s),
             _ => Err(parse_error("expected a string")),
         }
+    }
+
+    /// Whether the value is the `null` literal.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// Serializes the value in canonical form: no whitespace, object fields
+    /// in insertion order, floats in Rust's shortest round-trip
+    /// representation. Writing and re-parsing a value is the identity, and
+    /// two equal values always serialize to identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::NonFinite`] when the tree contains a NaN or an
+    /// infinite number (JSON cannot represent them).
+    pub fn to_json_string(&self) -> Result<String> {
+        let mut out = String::new();
+        self.write_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Appends the canonical serialization to `out` (the allocation-reusing
+    /// core of [`JsonValue::to_json_string`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::NonFinite`] when the tree contains a NaN or an
+    /// infinite number.
+    pub fn write_into(&self, out: &mut String) -> Result<()> {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if !n.is_finite() {
+                    return Err(DataError::NonFinite {
+                        field: "json number",
+                    });
+                }
+                let _ = write!(out, "{n:?}");
+            }
+            JsonValue::String(s) => write_json_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out)?;
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, key);
+                    out.push(':');
+                    value.write_into(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
     }
 }
 
@@ -243,21 +384,21 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_value(&mut self) -> Result<Json> {
+    fn parse_value(&mut self) -> Result<JsonValue> {
         self.skip_whitespace();
         match self.peek() {
             Some(b'{') => self.nested(Self::parse_object),
             Some(b'[') => self.nested(Self::parse_array),
-            Some(b'"') => Ok(Json::String(self.parse_string()?)),
-            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
-            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
-            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
             Some(_) => self.parse_number(),
             None => Err(parse_error("unexpected end of input")),
         }
     }
 
-    fn nested(&mut self, parse: impl FnOnce(&mut Self) -> Result<Json>) -> Result<Json> {
+    fn nested(&mut self, parse: impl FnOnce(&mut Self) -> Result<JsonValue>) -> Result<JsonValue> {
         if self.depth >= MAX_DEPTH {
             return Err(parse_error("maximum nesting depth exceeded"));
         }
@@ -267,7 +408,7 @@ impl Parser<'_> {
         value
     }
 
-    fn parse_keyword(&mut self, keyword: &str, value: Json) -> Result<Json> {
+    fn parse_keyword(&mut self, keyword: &str, value: JsonValue) -> Result<JsonValue> {
         if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
             self.pos += keyword.len();
             Ok(value)
@@ -276,13 +417,13 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_object(&mut self) -> Result<Json> {
+    fn parse_object(&mut self) -> Result<JsonValue> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Json::Object(fields));
+            return Ok(JsonValue::Object(fields));
         }
         loop {
             self.skip_whitespace();
@@ -296,7 +437,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Json::Object(fields));
+                    return Ok(JsonValue::Object(fields));
                 }
                 _ => {
                     return Err(parse_error(format!(
@@ -308,13 +449,13 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_array(&mut self) -> Result<Json> {
+    fn parse_array(&mut self) -> Result<JsonValue> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Json::Array(items));
+            return Ok(JsonValue::Array(items));
         }
         loop {
             items.push(self.parse_value()?);
@@ -323,7 +464,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(Json::Array(items));
+                    return Ok(JsonValue::Array(items));
                 }
                 _ => {
                     return Err(parse_error(format!(
@@ -423,7 +564,7 @@ impl Parser<'_> {
         Ok(code)
     }
 
-    fn parse_number(&mut self) -> Result<Json> {
+    fn parse_number(&mut self) -> Result<JsonValue> {
         let start = self.pos;
         while let Some(b) = self.peek() {
             if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
@@ -446,11 +587,11 @@ impl Parser<'_> {
         if !number.is_finite() {
             return Err(parse_error(format!("number '{text}' is out of range")));
         }
-        Ok(Json::Number(number))
+        Ok(JsonValue::Number(number))
     }
 }
 
-fn dataset_from_value(value: &Json) -> Result<Dataset> {
+fn dataset_from_value(value: &JsonValue) -> Result<Dataset> {
     let kernel = value.field("kernel")?.as_str()?.to_string();
     let points: Vec<DataPoint> = value
         .field("points")?
@@ -479,7 +620,7 @@ fn dataset_from_value(value: &Json) -> Result<Dataset> {
     Ok(Dataset::from_points(kernel, points))
 }
 
-fn point_from_value(value: &Json) -> Result<DataPoint> {
+fn point_from_value(value: &JsonValue) -> Result<DataPoint> {
     let configuration: Vec<u32> = value
         .field("configuration")?
         .as_array()?
@@ -637,6 +778,50 @@ mod tests {
             err.to_string().contains("runtime_variance"),
             "error should name the field: {err}"
         );
+    }
+
+    #[test]
+    fn json_value_roundtrip_is_the_identity() {
+        let value = JsonValue::Object(vec![
+            ("a".to_string(), JsonValue::Number(0.1 + 0.2)),
+            ("b".to_string(), JsonValue::Number(-0.0)),
+            ("c".to_string(), JsonValue::Number(1e-300)),
+            ("n".to_string(), JsonValue::Null),
+            ("t".to_string(), JsonValue::Bool(true)),
+            (
+                "s".to_string(),
+                JsonValue::String("quote \" slash \\ tab\t".to_string()),
+            ),
+            (
+                "v".to_string(),
+                JsonValue::Array(vec![JsonValue::Number(5.0), JsonValue::Number(42.0)]),
+            ),
+        ]);
+        let text = value.to_json_string().unwrap();
+        let reparsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(reparsed, value);
+        // Canonical: serializing the reparsed tree gives identical bytes.
+        assert_eq!(reparsed.to_json_string().unwrap(), text);
+    }
+
+    #[test]
+    fn json_value_writer_rejects_non_finite_numbers() {
+        let value = JsonValue::Array(vec![JsonValue::Number(f64::NAN)]);
+        let err = value.to_json_string().unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn json_value_integer_accessors_validate() {
+        let v = JsonValue::parse("[5, 5.5, -1, 1e300]").unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items[0].as_u64().unwrap(), 5);
+        assert_eq!(items[0].as_usize().unwrap(), 5);
+        assert!(items[1].as_u64().is_err());
+        assert!(items[2].as_u64().is_err());
+        assert!(items[3].as_u64().is_err());
+        assert!(JsonValue::Null.is_null());
+        assert!(!items[0].is_null());
     }
 
     #[test]

@@ -1,0 +1,13 @@
+//! Sharded, resumable campaign runner over the full experiment matrix
+//! (kernels × models × sampling plans × repetitions). See
+//! [`alic_experiments::campaign`] for the CLI contract.
+
+use alic_experiments::campaign::{self, CampaignOptions};
+
+fn main() {
+    let options = CampaignOptions::from_args();
+    if let Err(e) = campaign::run(&options) {
+        eprintln!("campaign failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`fig5`]    (`--bin fig5`)    | Figure 5: per-kernel reduction of profiling cost (bar-chart values) |
 //! | [`fig6`]    (`--bin fig6`)    | Figure 6 (a–f): RMSE vs. evaluation time for the three sampling plans |
 //! | [`ablation`](`--bin ablation`)| §3.3 / §7 ablations: acquisition function and artificial-noise robustness |
+//! | [`campaign`] (`--bin campaign`)| Sharded, resumable campaign over kernels × models × plans × repetitions |
 //!
 //! Every binary accepts an optional scale argument (`quick`, `laptop`,
 //! `full`) controlling how much work is done; `laptop` (the default)
@@ -31,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod campaign;
 pub mod fig1;
 pub mod fig2;
 pub mod fig5;
@@ -41,5 +43,6 @@ pub mod scale;
 pub mod table1;
 pub mod table2;
 
+pub use campaign::CampaignOptions;
 pub use options::RunOptions;
 pub use scale::Scale;

@@ -5,11 +5,11 @@
 //! the profiling seconds each needed to first reach it, and their ratio (the
 //! speed-up), closing with the geometric mean over the 11 kernels.
 
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use alic_core::experiment::{compare_plans, ComparisonConfig, ComparisonOutcome};
+use alic_core::experiment::{ComparisonConfig, ComparisonOutcome};
 use alic_core::plan::SamplingPlan;
+use alic_core::runner::{self, CampaignSpec};
 use alic_sim::spapt::{spapt_kernel, SpaptKernel};
 use alic_stats::error::geometric_mean;
 
@@ -93,17 +93,25 @@ pub fn rows_from_outcomes(
 
 /// Runs the comparison for a set of kernels with an explicit configuration
 /// (any scale, any [`SurrogateSpec`](alic_model::SurrogateSpec) family).
+///
+/// Executes as one flat campaign over the unit-based runner — every
+/// `(kernel, plan, repetition)` cell is an independent work unit on the
+/// work-stealing pool, so a cheap kernel finishing early never leaves
+/// workers idle while an expensive one is still comparing plans. The same
+/// matrix can be sharded, checkpointed and resumed across processes through
+/// the `campaign` binary.
 pub fn run_for_kernels_with(
     kernels: &[SpaptKernel],
     config: &ComparisonConfig,
 ) -> (Table1Result, Vec<ComparisonOutcome>) {
-    let outcomes: Vec<ComparisonOutcome> = kernels
-        .par_iter()
-        .map(|&kernel| {
-            compare_plans(&spapt_kernel(kernel), config)
-                .expect("comparison configuration is internally consistent")
-        })
-        .collect();
+    let spec = CampaignSpec::new(
+        kernels.iter().map(|&k| spapt_kernel(k)).collect(),
+        vec![config.model],
+        config.clone(),
+    );
+    let report =
+        runner::run_campaign(&spec).expect("comparison configuration is internally consistent");
+    let outcomes: Vec<ComparisonOutcome> = report.entries.into_iter().map(|e| e.outcome).collect();
     (rows_from_outcomes(&outcomes, config), outcomes)
 }
 

@@ -8,9 +8,9 @@
 //! noise varies *within* a single kernel — the core motivation for an
 //! adaptive sampling plan.
 
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use alic_core::runner;
 use alic_sim::profiler::{Profiler, SimulatedProfiler};
 use alic_sim::spapt::{spapt_kernel, SpaptKernel};
 use alic_stats::ci::confidence_interval;
@@ -110,20 +110,23 @@ impl Table2Result {
 }
 
 /// Runs Table 2 for all kernels at the given scale.
+///
+/// Table 2 has no learner dimension (kernels are profiled directly), so its
+/// unit is simply one kernel row; the rows run on the campaign runner's
+/// work-stealing executor ([`runner::map_units`]) with per-kernel derived
+/// seeds, like every other experiment stage.
 pub fn run(scale: Scale) -> Table2Result {
     let configurations = scale.table2_configurations();
     let observations = scale.observations();
-    let rows: Vec<Table2Row> = SpaptKernel::all()
-        .into_par_iter()
-        .map(|kernel| {
-            run_kernel(
-                kernel,
-                configurations,
-                observations,
-                derive_seed(7, kernel as u64),
-            )
-        })
-        .collect();
+    let kernels = SpaptKernel::all();
+    let rows: Vec<Table2Row> = runner::map_units(&kernels, |&kernel| {
+        run_kernel(
+            kernel,
+            configurations,
+            observations,
+            derive_seed(7, kernel as u64),
+        )
+    });
     Table2Result { rows }
 }
 
