@@ -9,12 +9,17 @@
 //!
 //! `cargo run --release --bin perf_report` times the canonical hot-path
 //! workloads (ALC batch scoring at the paper's 500-candidate × 50-reference
-//! iteration shape, dynamic-tree fit and incremental update, a full small
-//! learner run, and the Gaussian-process fit / incremental-update /
-//! acquisition workloads) and writes a JSON report — `BENCH_PR<n>.json` at
+//! iteration shape, dynamic-tree fit and incremental update plus the same
+//! fit pinned to one worker thread and to the machine's full thread count —
+//! the `_t1`/`_tmax` thread-scaling pair for the parallel particle
+//! updates — a full small learner run, the Gaussian-process fit /
+//! incremental-update / acquisition workloads and the campaign-runner
+//! orchestration path) and writes a JSON report — `BENCH_PR<n>.json` at
 //! the repo root records the trajectory across PRs. `--scale smoke` runs
 //! tiny variants so CI can assert the harness works; `--out PATH` redirects
-//! the report.
+//! the report. Workloads faster than the minimum measurement window
+//! (10 ms) are repeated in an inner loop and reported as the per-iteration
+//! mean of the best window, so short timings are stable.
 //!
 //! Regression gating and report composition:
 //!
@@ -22,9 +27,9 @@
 //!   ratio `seconds / baseline_seconds` for every workload name present in
 //!   both reports; with `--max-regression X` the binary exits non-zero when
 //!   any ratio exceeds `X` (the CI perf-smoke job gates smoke runs against
-//!   the committed `BENCH_PR2.json` this way). Workloads with
-//!   sub-millisecond baselines are reported but never enforced — at that
-//!   duration, cross-machine timing noise exceeds any sane threshold.
+//!   the committed `BENCH_PR4.json` this way). Since PR 5 every matched
+//!   workload is enforced: the minimum-measurement-window repetition makes
+//!   even sub-millisecond timings stable enough to gate.
 //! * `--merge PATH` folds the workloads of an existing report into the one
 //!   being written (fresh measurements win on name collisions and the
 //!   top-level `scale` becomes `"mixed"`) — this is how a committed report

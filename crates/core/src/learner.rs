@@ -247,6 +247,9 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
         // --- Main loop (Algorithm 1, lines 6-29). -----------------------------
         let mut unseen: Vec<usize> = positions[config.initial_examples..].to_vec();
         let mut revisits: Vec<usize> = Vec::new();
+        // Candidate row views are rebuilt every iteration but the buffer is
+        // hoisted out of the loop, so the steady state allocates nothing.
+        let mut candidate_rows: Vec<&[f64]> = Vec::new();
         let mut iterations = 0usize;
         while iterations < config.max_iterations {
             if config
@@ -278,14 +281,13 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
             }
             // Candidates are zero-copy row views into the pool matrix, fresh
             // ones first so that score ties resolve towards exploration.
-            let mut candidate_rows: Vec<&[f64]> = Vec::with_capacity(fresh_count + revisits.len());
+            candidate_rows.clear();
             candidate_rows.extend(unseen[..fresh_count].iter().map(|&p| pool_features.row(p)));
             candidate_rows.extend(revisits.iter().map(|&p| pool_features.row(p)));
             let chosen = config
                 .acquisition
                 .select(model, &candidate_rows, &pool_features, &mut rng)?
                 .expect("candidate set is non-empty");
-            drop(candidate_rows);
             // A chosen index below `fresh_count` addresses the shuffled
             // prefix of `unseen` directly, which makes the first-visit test
             // and the unseen-pool removal below O(1).

@@ -18,42 +18,65 @@
 //!
 //! # Performance
 //!
-//! This module implements the zero-copy batched pipeline the active-learning
-//! loop runs on:
+//! The particle-learning step is built around three ideas:
 //!
-//! * Training inputs live in a flat row-major [`FeatureMatrix`] instead of
-//!   one heap allocation per observation.
-//! * [`update`](SurrogateModel::update) is allocation-free on the common
-//!   path: resampling *moves* uniquely surviving particles and clones only
-//!   genuine duplicates, and the weight/resampling workspace is reused
-//!   across updates.
-//! * The batch entry points ([`predict_batch`](SurrogateModel::predict_batch),
-//!   [`alm_scores`](ActiveSurrogate::alm_scores),
-//!   [`alc_scores`](ActiveSurrogate::alc_scores)) flatten every particle's
-//!   tree into a dense traversal array once per call, precompute per-leaf
-//!   contribution tables shared by all candidates, and score candidate
-//!   blocks in parallel with deterministic by-index write-back — results are
-//!   bit-identical to the single-point methods regardless of thread count.
+//! * **Structurally shared arenas.** Trees live in a slot pool of
+//!   arena-backed [`ParticleTree`]s ([`tree`] module) and particles hold
+//!   slot indices. Systematic-resampling duplicates *share* their ancestor's
+//!   arena: the per-update weighting, point insertion and leaf gathering
+//!   run **once per unique tree**, and a duplicate only pays for a copy (a
+//!   handful of `memcpy`s into a recycled slot) when its first divergent
+//!   grow/prune move lands. Stay moves — the common case — keep sharing.
+//! * **Deterministic parallel updates.** Each particle's stochastic move is
+//!   decided with an RNG stream derived from
+//!   `(model seed, observation index, particle index)`
+//!   ([`seeded_substream`]), so the weight pass, the per-arena insert pass
+//!   and the per-particle move decisions all run on the rayon pool with
+//!   by-index write-back — `fit` and `update` are bit-identical across
+//!   thread counts. Only systematic resampling (one draw from the master
+//!   stream) and the copy-on-write slot assignment are serial passes.
+//! * **Persistent flat-node and leaf-moment caches.** Every arena keeps its
+//!   dense traversal array and per-leaf derived quantities (predictive
+//!   moments, log marginal likelihood, log-density constants backed by a
+//!   memoized `ln Γ` table) eagerly fresh, so weighting is a flat traversal
+//!   plus a few flops, move scoring reads cached likelihoods, and
+//!   steady-state `predict`/`predict_batch`/`alc_scores` calls do **zero**
+//!   flattening or posterior recomputation.
+//!
+//! The batch entry points ([`predict_batch`](SurrogateModel::predict_batch),
+//! [`alm_scores`](ActiveSurrogate::alm_scores),
+//! [`alc_scores`](ActiveSurrogate::alc_scores)) chunk candidates directly by
+//! index (no per-call block collection), share per-leaf contribution tables
+//! across candidates, traverse each **unique** tree once per candidate and
+//! accumulate multiplicity-weighted contributions in first-seen particle
+//! order — results are bit-identical to the single-point methods regardless
+//! of the thread count.
 
 pub mod tree;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use alic_stats::rng::{seeded_stream, Rng as StatsRng};
+use alic_stats::rng::{seeded_stream, Rng as StatsRng, SmallRng};
 use alic_stats::FeatureMatrix;
 use rayon::prelude::*;
 
-use crate::leaf::{LeafPrior, LeafStats};
+use crate::leaf::{log_marginal_likelihood_of_sums, LeafPrior, LnGammaTable};
 use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
 use crate::{validate_training_set, ModelError, Result};
 
-pub use tree::{find_leaf_flat, FlatNode, ParticleTree, Split, FLAT_LEAF};
+pub use tree::{find_leaf_flat, FlatNode, MomentCtx, ParticleTree, Split, FLAT_LEAF};
 
 /// Candidates per parallel scoring block. Each block accumulates its scores
 /// independently (per-candidate work is ordered by particle index), so the
 /// block size affects only scheduling granularity, never results.
 const SCORE_BLOCK: usize = 64;
+
+/// "No group" sentinel in the arena→group scratch map.
+const NO_GROUP: u32 = u32::MAX;
+
+/// Split-proposal attempts evaluated per fused scan of the gathered leaf.
+const ATTEMPT_BATCH: usize = 8;
 
 /// Configuration of the dynamic-tree model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,9 +111,57 @@ impl Default for DynaTreeConfig {
     }
 }
 
-/// Reusable per-update workspace: after the first update no buffer here is
-/// ever reallocated, which keeps the particle-learning step allocation-free
-/// on the common path.
+/// The stochastic move one particle chose for the current observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Decision {
+    Stay,
+    Grow(Split),
+    Prune,
+}
+
+/// Per-unique-tree copy of the leaf that received the new observation:
+/// row-major `[x₀, …, x_{d−1}, y]` records in point-list order. Built only
+/// for arenas shared by **several** particles — each sharer's proposal scan
+/// then reads one forward stream instead of chasing list links — and left
+/// empty for sole-owner arenas, whose single scan walks the tree directly
+/// (same point order, so both paths produce bit-identical sums).
+#[derive(Debug, Clone, Default)]
+struct GatherBuf {
+    rows: Vec<f64>,
+    stride: usize,
+}
+
+impl GatherBuf {
+    /// Marks the buffer as pass-through: proposals walk the point list.
+    fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Whether proposals should walk the tree instead of scanning rows.
+    fn is_direct(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Gathers the leaf in one linked-list walk (the leaf's point count
+    /// comes from its statistics, so the rows are sized up front).
+    fn fill(&mut self, tree: &ParticleTree, leaf: usize, xs: &FeatureMatrix, ys: &[f64]) {
+        let stride = xs.dim() + 1;
+        let len = tree.leaf_stats(leaf).count();
+        self.stride = stride;
+        self.rows.clear();
+        self.rows.resize(stride * len, 0.0);
+        for (i, p) in tree.leaf_points(leaf).enumerate() {
+            let out = &mut self.rows[i * stride..(i + 1) * stride];
+            out[..stride - 1].copy_from_slice(xs.row(p));
+            out[stride - 1] = ys[p];
+        }
+    }
+}
+
+/// Reusable per-update workspace: after the first few updates no buffer here
+/// is ever reallocated, which keeps the particle-learning step
+/// allocation-free on the common path (the thread-pool shim's internal
+/// per-call staging aside).
 #[derive(Debug, Clone, Default)]
 struct UpdateScratch {
     /// Per-particle log predictive densities of the new observation.
@@ -99,10 +170,19 @@ struct UpdateScratch {
     weights: Vec<f64>,
     /// Systematic-resampling ancestor indices.
     indices: Vec<usize>,
-    /// Multiplicity of each ancestor in `indices`.
-    counts: Vec<u32>,
-    /// Staging slots used to move surviving particles into their new order.
-    slots: Vec<Option<ParticleTree>>,
+    /// Arena slot → group index for this update ([`NO_GROUP`] if unused).
+    arena_group: Vec<u32>,
+    /// Group index → arena slot, in first-seen particle order.
+    unique: Vec<u32>,
+    /// Group index → leaf that contains the new observation.
+    group_leaf: Vec<u32>,
+    /// Staging for the resampled particle→slot assignment.
+    new_particles: Vec<u32>,
+    /// Per-group gathered leaf columns for split proposals.
+    gather: Vec<GatherBuf>,
+    /// Movers staged for the parallel apply pass:
+    /// `(particle, slot, leaf, decision)`.
+    movers: Vec<(u32, u32, u32, Decision)>,
 }
 
 /// Particle-learning dynamic-tree regressor.
@@ -117,20 +197,43 @@ pub struct DynaTree {
     /// [`fit`](SurrogateModel::fit) is never read (`dimension` is `None`).
     xs: FeatureMatrix,
     ys: Vec<f64>,
-    particles: Vec<ParticleTree>,
+    /// Arena slot pool. Slots with a zero refcount hold retired trees whose
+    /// allocations are recycled by the next copy-on-write clone.
+    arenas: Vec<ParticleTree>,
+    /// Number of particles currently sharing each slot.
+    arena_refs: Vec<u32>,
+    /// Zero-refcount slots, ascending; popped from the back.
+    arena_free: Vec<u32>,
+    /// Per-particle arena slot.
+    particles: Vec<u32>,
+    /// Master stream: consumed only by systematic resampling.
     rng: StatsRng,
     dimension: Option<usize>,
+    /// Memoized `ln Γ` evaluations, extended once per update.
+    table: LnGammaTable,
+    /// Memoized per-depth `(ln p_split, ln(1 − p_split))` pairs.
+    split_prior: Vec<(f64, f64)>,
+    /// Monotone upper bound on any tree depth across the particle set;
+    /// sizes `split_prior`.
+    depth_bound: usize,
     scratch: UpdateScratch,
 }
 
 impl DynaTree {
     /// Creates an unfitted model with the given configuration.
     pub fn new(config: DynaTreeConfig) -> Self {
+        let prior = LeafPrior::default();
         DynaTree {
             config,
-            prior: LeafPrior::default(),
+            table: LnGammaTable::new(&prior),
+            split_prior: Vec::new(),
+            depth_bound: 0,
+            prior,
             xs: FeatureMatrix::new(1),
             ys: Vec::new(),
+            arenas: Vec::new(),
+            arena_refs: Vec::new(),
+            arena_free: Vec::new(),
             particles: Vec::new(),
             rng: seeded_stream(config.seed, 0xD14A),
             dimension: None,
@@ -165,13 +268,38 @@ impl DynaTree {
         }
         self.particles
             .iter()
-            .map(|p| p.leaf_count() as f64)
+            .map(|&slot| self.arenas[slot as usize].leaf_count() as f64)
             .sum::<f64>()
             / self.particles.len() as f64
     }
 
-    fn p_split(&self, depth: usize) -> f64 {
-        (self.config.alpha * (1.0 + depth as f64).powf(-self.config.beta)).clamp(1e-9, 1.0 - 1e-9)
+    /// Number of *unique* trees behind the particle set. Structural sharing
+    /// keeps this below the particle count whenever resampling duplicated a
+    /// particle that has not diverged yet.
+    pub fn unique_tree_count(&self) -> usize {
+        self.arena_refs.iter().filter(|&&r| r > 0).count()
+    }
+
+    /// Recomputes every live tree's cached flat traversal and leaf moments
+    /// from scratch and compares them bitwise against the maintained
+    /// caches. Exercised by the root-level property tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence found.
+    #[doc(hidden)]
+    pub fn validate_caches(&self) -> std::result::Result<(), String> {
+        let ctx = MomentCtx {
+            prior: &self.prior,
+            table: &self.table,
+        };
+        for (slot, (tree, &refs)) in self.arenas.iter().zip(&self.arena_refs).enumerate() {
+            if refs > 0 {
+                tree.validate_caches(&self.xs, &ctx)
+                    .map_err(|e| format!("arena {slot}: {e}"))?;
+            }
+        }
+        Ok(())
     }
 
     fn check_dimension(&self, x: &[f64]) -> Result<()> {
@@ -185,93 +313,206 @@ impl DynaTree {
         }
     }
 
-    /// Proposes a random split of `leaf` in `particle`, returning the split
-    /// together with the log marginal likelihood of the resulting children.
-    fn propose_split(&mut self, particle: &ParticleTree, leaf: usize) -> Option<(Split, f64)> {
-        let points = particle.leaf_points(leaf);
-        if points.len() < 2 * self.config.min_leaf {
+    /// Unique `(slot, multiplicity)` pairs in first-seen particle order.
+    /// Every scoring path iterates trees through this, so shared particles
+    /// are traversed once and accumulated with their multiplicity — in the
+    /// same order as a per-particle loop, which keeps single-point and
+    /// batched results bit-identical.
+    fn arena_groups(&self) -> Vec<(u32, u32)> {
+        let mut groups: Vec<(u32, u32)> = Vec::new();
+        let mut index_of = vec![NO_GROUP; self.arenas.len()];
+        for &slot in &self.particles {
+            let g = index_of[slot as usize];
+            if g == NO_GROUP {
+                index_of[slot as usize] = groups.len() as u32;
+                groups.push((slot, 1));
+            } else {
+                groups[g as usize].1 += 1;
+            }
+        }
+        groups
+    }
+
+    /// The split prior `p_split(depth) = α (1 + depth)^(−β)`, clamped away
+    /// from 0 and 1.
+    fn p_split(config: &DynaTreeConfig, depth: usize) -> f64 {
+        (config.alpha * (1.0 + depth as f64).powf(-config.beta)).clamp(1e-9, 1.0 - 1e-9)
+    }
+
+    /// Extends the memoized per-depth split-prior table to cover
+    /// `0..=max_depth`: entry `d` is `(ln p_split(d), ln(1 − p_split(d)))`.
+    /// The prior depends only on the (immutable) `alpha`/`beta`
+    /// configuration, so the table never needs invalidation — the `powf`
+    /// and `ln` calls leave the per-particle hot path entirely.
+    fn ensure_split_prior(&mut self, max_depth: usize) {
+        while self.split_prior.len() <= max_depth {
+            let p = Self::p_split(&self.config, self.split_prior.len());
+            self.split_prior.push((p.ln(), (1.0 - p).ln()));
+        }
+    }
+
+    /// Proposes the best of `grow_attempts` random splits of the leaf,
+    /// returning the split and the children's combined log marginal
+    /// likelihood. Reads the leaf's maintained bounds, its statistics'
+    /// totals and the particle's own RNG stream; the points themselves come
+    /// from `make_scan` — either the shared row copy or a direct walk of
+    /// the tree's point list, which yield the same `(features, target)`
+    /// sequence and therefore bit-identical proposals.
+    ///
+    /// All attempts of a batch (up to [`ATTEMPT_BATCH`]) are evaluated by a
+    /// **single** branch-free forward scan: per point, each attempt
+    /// accumulates the left side's `(n, Σy, Σy²)` via a 0/1 mask. The right
+    /// side is `totals − left`, and the children's likelihoods come from
+    /// [`log_marginal_likelihood_of_sums`], compared in attempt order so
+    /// results match an attempt-at-a-time evaluation.
+    #[allow(clippy::too_many_arguments)]
+    fn propose_split<'s, I, F>(
+        config: &DynaTreeConfig,
+        ctx: &MomentCtx<'_>,
+        len: usize,
+        totals: (f64, f64),
+        bounds: &[f64],
+        dim: usize,
+        rng: &mut SmallRng,
+        make_scan: F,
+    ) -> Option<(Split, f64)>
+    where
+        F: Fn() -> I,
+        I: Iterator<Item = (&'s [f64], f64)>,
+    {
+        if len < 2 * config.min_leaf {
             return None;
         }
-        let dim = self.dimension?;
+        let (total_sum, total_sum_sq) = totals;
         let mut best: Option<(Split, f64)> = None;
-        for _ in 0..self.config.grow_attempts {
-            let d = self.rng.gen_range(0..dim);
-            let mut lo = f64::INFINITY;
-            let mut hi = f64::NEG_INFINITY;
-            for &p in points {
-                let v = self.xs.get(p, d);
-                lo = lo.min(v);
-                hi = hi.max(v);
-            }
-            if hi <= lo {
-                continue;
-            }
-            let threshold = self.rng.gen_range(lo..hi);
-            // Single pass: partition counts and child sufficient statistics
-            // together, without materializing the index or target vectors.
-            let mut left_stats = LeafStats::new();
-            let mut right_stats = LeafStats::new();
-            for &p in points {
-                if self.xs.get(p, d) <= threshold {
-                    left_stats.push(self.ys[p]);
-                } else {
-                    right_stats.push(self.ys[p]);
+        let mut remaining = config.grow_attempts;
+        while remaining > 0 {
+            let batch = remaining.min(ATTEMPT_BATCH);
+            remaining -= batch;
+            // Draw the batch's attempts in the same interleaved order an
+            // attempt-at-a-time loop would (dimension, then threshold for
+            // non-degenerate dimensions only).
+            let mut dims = [0usize; ATTEMPT_BATCH];
+            let mut thresholds = [0.0f64; ATTEMPT_BATCH];
+            let mut live = 0usize;
+            for _ in 0..batch {
+                let d = rng.gen_index(dim);
+                let (lo, hi) = (bounds[2 * d], bounds[2 * d + 1]);
+                if hi <= lo {
+                    continue;
                 }
+                dims[live] = d;
+                thresholds[live] = rng.gen_range_f64(lo, hi);
+                live += 1;
             }
-            if left_stats.count() < self.config.min_leaf
-                || right_stats.count() < self.config.min_leaf
-            {
+            if live == 0 {
                 continue;
             }
-            let lml = left_stats.log_marginal_likelihood(&self.prior)
-                + right_stats.log_marginal_likelihood(&self.prior);
-            let split = Split {
-                dimension: d,
-                threshold,
+            // One fused forward scan accumulates every attempt's left side;
+            // the dispatch monomorphizes the hot loop per live-attempt
+            // count so the accumulators stay in registers.
+            let (n_left, sum_left, sum_sq_left) = match live {
+                1 => scan_left::<1, _>(make_scan(), &dims, &thresholds),
+                2 => scan_left::<2, _>(make_scan(), &dims, &thresholds),
+                3 => scan_left::<3, _>(make_scan(), &dims, &thresholds),
+                4 => scan_left::<4, _>(make_scan(), &dims, &thresholds),
+                5 => scan_left::<5, _>(make_scan(), &dims, &thresholds),
+                6 => scan_left::<6, _>(make_scan(), &dims, &thresholds),
+                7 => scan_left::<7, _>(make_scan(), &dims, &thresholds),
+                _ => scan_left::<8, _>(make_scan(), &dims, &thresholds),
             };
-            if best.as_ref().is_none_or(|(_, b)| lml > *b) {
-                best = Some((split, lml));
+            for k in 0..live {
+                let left_count = n_left[k] as usize;
+                let right_count = len - left_count;
+                if left_count < config.min_leaf || right_count < config.min_leaf {
+                    continue;
+                }
+                let lml = log_marginal_likelihood_of_sums(
+                    left_count,
+                    sum_left[k],
+                    sum_sq_left[k],
+                    ctx.prior,
+                    ctx.table,
+                ) + log_marginal_likelihood_of_sums(
+                    right_count,
+                    total_sum - sum_left[k],
+                    total_sum_sq - sum_sq_left[k],
+                    ctx.prior,
+                    ctx.table,
+                );
+                let split = Split {
+                    dimension: dims[k],
+                    threshold: thresholds[k],
+                };
+                if best.as_ref().is_none_or(|(_, b)| lml > *b) {
+                    best = Some((split, lml));
+                }
             }
         }
         best
     }
 
-    /// Applies one stochastic stay/prune/grow move to `particle` around the
-    /// leaf that just received a new observation.
-    fn apply_move(&mut self, particle: &mut ParticleTree, leaf: usize) {
-        let depth = particle.depth_of(leaf);
-        let leaf_lml = particle
-            .leaf_stats(leaf)
-            .log_marginal_likelihood(&self.prior);
+    /// Decides one particle's stay/grow/prune move around the leaf that
+    /// received the new observation. Pure read of the (possibly shared)
+    /// tree plus the particle's own RNG stream; the chosen move is applied
+    /// later, after copy-on-write slot assignment.
+    #[allow(clippy::too_many_arguments)]
+    fn decide_move(
+        config: &DynaTreeConfig,
+        ctx: &MomentCtx<'_>,
+        split_prior: &[(f64, f64)],
+        tree: &ParticleTree,
+        leaf: usize,
+        gather: &GatherBuf,
+        xs: &FeatureMatrix,
+        ys: &[f64],
+        dim: usize,
+        rng: &mut SmallRng,
+    ) -> Decision {
+        let depth = tree.depth_of(leaf);
+        let leaf_lml = tree.leaf_moments()[leaf].lml;
 
         // Log-odds of the candidate moves relative to "stay" (whose log-odds
         // are zero by construction). At most three moves exist, so the
         // candidate list lives on the stack.
-        let mut moves = [(MoveKind::Stay, 0.0); 3];
+        let mut moves = [(Decision::Stay, 0.0); 3];
         let mut n_moves = 1;
 
-        if let Some((split, children_lml)) = self.propose_split(particle, leaf) {
-            let p_here = self.p_split(depth);
-            let p_child = self.p_split(depth + 1);
-            let log_odds = children_lml - leaf_lml + p_here.ln() + 2.0 * (1.0 - p_child).ln()
-                - (1.0 - p_here).ln();
-            moves[n_moves] = (MoveKind::Grow(split), log_odds);
+        let stats = tree.leaf_stats(leaf);
+        let (len, totals) = (stats.count(), stats.sum_and_sum_sq());
+        let bounds = tree.leaf_bounds(leaf);
+        let proposal = if gather.is_direct() {
+            Self::propose_split(config, ctx, len, totals, bounds, dim, rng, || {
+                tree.leaf_points(leaf).map(|p| (xs.row(p), ys[p]))
+            })
+        } else {
+            let stride = gather.stride;
+            Self::propose_split(config, ctx, len, totals, bounds, dim, rng, || {
+                gather
+                    .rows
+                    .chunks_exact(stride)
+                    .map(|r| (&r[..stride - 1], r[stride - 1]))
+            })
+        };
+        if let Some((split, children_lml)) = proposal {
+            let (ln_p_here, ln_q_here) = split_prior[depth];
+            let (_, ln_q_child) = split_prior[depth + 1];
+            let log_odds = children_lml - leaf_lml + ln_p_here + 2.0 * ln_q_child - ln_q_here;
+            moves[n_moves] = (Decision::Grow(split), log_odds);
             n_moves += 1;
         }
 
-        if let Some(sibling) = particle.leaf_sibling(leaf) {
-            let sibling_lml = particle
-                .leaf_stats(sibling)
-                .log_marginal_likelihood(&self.prior);
-            let mut merged = *particle.leaf_stats(leaf);
-            merged.merge(particle.leaf_stats(sibling));
-            let merged_lml = merged.log_marginal_likelihood(&self.prior);
+        if let Some(sibling) = tree.leaf_sibling(leaf) {
+            let sibling_lml = tree.leaf_moments()[sibling].lml;
+            let mut merged = *tree.leaf_stats(leaf);
+            merged.merge(tree.leaf_stats(sibling));
+            let merged_lml = merged.log_marginal_likelihood_with(ctx.prior, ctx.table);
             let parent_depth = depth.saturating_sub(1);
-            let p_parent = self.p_split(parent_depth);
-            let p_here = self.p_split(depth);
-            let log_odds = merged_lml + (1.0 - p_parent).ln()
-                - (leaf_lml + sibling_lml + p_parent.ln() + 2.0 * (1.0 - p_here).ln());
-            moves[n_moves] = (MoveKind::Prune, log_odds);
+            let (ln_p_parent, ln_q_parent) = split_prior[parent_depth];
+            let (_, ln_q_here) = split_prior[depth];
+            let log_odds =
+                merged_lml + ln_q_parent - (leaf_lml + sibling_lml + ln_p_parent + 2.0 * ln_q_here);
+            moves[n_moves] = (Decision::Prune, log_odds);
             n_moves += 1;
         }
 
@@ -287,8 +528,8 @@ impl DynaTree {
         }
         let weights = &weights[..n_moves];
         let total: f64 = weights.iter().sum();
-        let mut pick = self.rng.gen_range(0.0..total);
-        let mut chosen = MoveKind::Stay;
+        let mut pick = rng.gen_range_f64(0.0, total);
+        let mut chosen = Decision::Stay;
         for (&(kind, _), &w) in moves.iter().zip(weights) {
             if pick < w {
                 chosen = kind;
@@ -296,99 +537,277 @@ impl DynaTree {
             }
             pick -= w;
         }
-
-        match chosen {
-            MoveKind::Stay => {}
-            MoveKind::Grow(split) => {
-                particle.grow(leaf, split, &self.xs, &self.ys, self.config.min_leaf);
-            }
-            MoveKind::Prune => {
-                particle.prune(leaf, &self.ys);
-            }
-        }
+        chosen
     }
 
     fn update_inner(&mut self, x: &[f64], y: f64) {
         let index = self.ys.len();
         self.xs.push_row(x);
         self.ys.push(y);
-
+        self.table.ensure(self.ys.len());
+        // Decide needs priors at `depth + 1` for every current leaf depth.
+        self.ensure_split_prior(self.depth_bound + 2);
+        let dim = self.xs.dim();
         let mut scratch = std::mem::take(&mut self.scratch);
 
-        // 1. Weight particles by the predictive density of the new target.
+        // 1. Group particles by unique arena (first-seen order). Everything
+        //    that depends only on the tree — weighting, insertion, leaf
+        //    gathering — runs once per group below.
+        scratch.arena_group.clear();
+        scratch.arena_group.resize(self.arenas.len(), NO_GROUP);
+        scratch.unique.clear();
+        for &slot in &self.particles {
+            if scratch.arena_group[slot as usize] == NO_GROUP {
+                scratch.arena_group[slot as usize] = scratch.unique.len() as u32;
+                scratch.unique.push(slot);
+            }
+        }
+
+        // 2. Weight pass: one flat traversal + cached-density evaluation per
+        //    unique tree, in parallel, then broadcast to the particles.
+        let groups = scratch.unique.len();
+        let weighted: Vec<(u32, f64)> = {
+            let arenas = &self.arenas;
+            let unique = &scratch.unique;
+            (0..groups)
+                .into_par_iter()
+                .map(|g| {
+                    let tree = &arenas[unique[g] as usize];
+                    let leaf = find_leaf_flat(tree.flat_nodes(), x);
+                    (leaf as u32, tree.leaf_moments()[leaf].log_density(y))
+                })
+                .collect()
+        };
+        scratch.group_leaf.clear();
         scratch.log_weights.clear();
+        scratch.group_leaf.extend(weighted.iter().map(|&(l, _)| l));
         scratch.log_weights.extend(
             self.particles
                 .iter()
-                .map(|p| p.log_weight(x, y, &self.prior)),
+                .map(|&slot| weighted[scratch.arena_group[slot as usize] as usize].1),
         );
 
-        // 2. Resample. Uniquely surviving particles are *moved* into their
-        //    new slots; only genuine duplicates are deep-cloned. Systematic
-        //    resampling yields non-decreasing ancestor indices, so when every
-        //    particle survives exactly once the assignment is the identity
-        //    and the particle vector is left untouched.
+        // 3. Systematic resampling on the master stream (serial; one draw).
         systematic_resample(
             &mut self.rng,
             &scratch.log_weights,
             &mut scratch.weights,
             &mut scratch.indices,
         );
-        scratch.counts.clear();
-        scratch.counts.resize(self.particles.len(), 0);
-        for &i in &scratch.indices {
-            scratch.counts[i] += 1;
+
+        // 4. Remap particles to their ancestors' slots and recount arena
+        //    references. Duplicates share their ancestor's arena — no clone
+        //    happens here.
+        scratch.new_particles.clear();
+        scratch
+            .new_particles
+            .extend(scratch.indices.iter().map(|&i| self.particles[i]));
+        std::mem::swap(&mut self.particles, &mut scratch.new_particles);
+        self.arena_refs.clear();
+        self.arena_refs.resize(self.arenas.len(), 0);
+        for &slot in &self.particles {
+            self.arena_refs[slot as usize] += 1;
         }
-        if scratch.counts.iter().any(|&c| c != 1) {
-            scratch.slots.clear();
-            scratch.slots.extend(self.particles.drain(..).map(Some));
-            for &i in &scratch.indices {
-                scratch.counts[i] -= 1;
-                let particle = if scratch.counts[i] == 0 {
-                    scratch.slots[i]
-                        .take()
-                        .expect("the last use of an ancestor moves it")
-                } else {
-                    scratch.slots[i]
-                        .as_ref()
-                        .expect("an ancestor slot stays live until its last use")
-                        .clone()
-                };
-                self.particles.push(particle);
+        self.arena_free.clear();
+        for slot in 0..self.arena_refs.len() {
+            if self.arena_refs[slot] == 0 {
+                self.arena_free.push(slot as u32);
             }
-            // Drop the particles the resampling eliminated.
-            scratch.slots.clear();
         }
 
-        // 3. Propagate: insert the point and apply one structural move.
-        for slot in 0..self.particles.len() {
-            let mut particle =
-                std::mem::replace(&mut self.particles[slot], ParticleTree::placeholder());
-            let leaf = particle.insert(x, index, y);
-            self.apply_move(&mut particle, leaf);
-            self.particles[slot] = particle;
+        // 5. Insert the observation and gather the receiving leaf once per
+        //    *surviving* unique tree. Inserting is O(1) per tree and the
+        //    row copy only happens for the few arenas that are genuinely
+        //    shared, so this pass runs serially in place — staging trees
+        //    onto the thread pool costs more than the work itself.
+        scratch.gather.resize_with(groups, GatherBuf::default);
+        let ctx = MomentCtx {
+            prior: &self.prior,
+            table: &self.table,
+        };
+        let min_leaf = self.config.min_leaf;
+        for g in 0..groups {
+            let slot = scratch.unique[g] as usize;
+            if self.arena_refs[slot] == 0 {
+                continue;
+            }
+            let tree = &mut self.arenas[slot];
+            let leaf = scratch.group_leaf[g] as usize;
+            tree.insert_at(leaf, index, x, y, &ctx);
+            // The row copy pays off only when several sharers will scan it;
+            // a sole owner (or an unsplittable leaf) walks the list
+            // directly.
+            let gather = &mut scratch.gather[g];
+            if self.arena_refs[slot] > 1 && tree.leaf_stats(leaf).count() >= 2 * min_leaf {
+                gather.fill(tree, leaf, &self.xs, &self.ys);
+            } else {
+                gather.clear();
+            }
         }
+
+        // 6. Decide every particle's move in parallel on its own
+        //    `(seed, observation, particle)` RNG stream.
+        let decisions: Vec<Decision> = {
+            let arenas = &self.arenas;
+            let particles = &self.particles;
+            let arena_group = &scratch.arena_group;
+            let group_leaf = &scratch.group_leaf;
+            let gather = &scratch.gather;
+            let config = &self.config;
+            let split_prior = &self.split_prior;
+            let xs = &self.xs;
+            let ys = &self.ys;
+            (0..particles.len())
+                .into_par_iter()
+                .map(|i| {
+                    let slot = particles[i] as usize;
+                    let g = arena_group[slot] as usize;
+                    let mut rng = SmallRng::substream(config.seed, index as u64, i as u64);
+                    Self::decide_move(
+                        config,
+                        &ctx,
+                        split_prior,
+                        &arenas[slot],
+                        group_leaf[g] as usize,
+                        &gather[g],
+                        xs,
+                        ys,
+                        dim,
+                        &mut rng,
+                    )
+                })
+                .collect()
+        };
+
+        // 7. Copy-on-write slot assignment (serial): a mover that still
+        //    shares its arena clones it into a recycled slot; the last owner
+        //    mutates in place. Stayers keep sharing.
+        scratch.movers.clear();
+        for (i, &decision) in decisions.iter().enumerate() {
+            if decision == Decision::Stay {
+                continue;
+            }
+            let slot = self.particles[i] as usize;
+            let leaf = scratch.group_leaf[scratch.arena_group[slot] as usize];
+            let dst = if self.arena_refs[slot] > 1 {
+                self.arena_refs[slot] -= 1;
+                let dst = match self.arena_free.pop() {
+                    Some(free) => free as usize,
+                    None => {
+                        self.arenas.push(ParticleTree::placeholder());
+                        self.arena_refs.push(0);
+                        self.arenas.len() - 1
+                    }
+                };
+                clone_slot(&mut self.arenas, slot, dst);
+                self.arena_refs[dst] = 1;
+                self.particles[i] = dst as u32;
+                dst
+            } else {
+                slot
+            };
+            scratch.movers.push((i as u32, dst as u32, leaf, decision));
+        }
+
+        // 8. Apply the divergent moves in parallel: every mover owns its
+        //    arena exclusively now, so the trees are moved out, mutated and
+        //    written back by slot.
+        let mut mover_trees: Vec<(u32, ParticleTree, u32, Decision)> = scratch
+            .movers
+            .iter()
+            .map(|&(_, slot, leaf, decision)| {
+                (
+                    slot,
+                    std::mem::replace(&mut self.arenas[slot as usize], ParticleTree::placeholder()),
+                    leaf,
+                    decision,
+                )
+            })
+            .collect();
+        {
+            let xs = &self.xs;
+            let ys = &self.ys;
+            mover_trees = mover_trees
+                .into_par_iter()
+                .map(|(slot, mut tree, leaf, decision)| {
+                    match decision {
+                        Decision::Stay => unreachable!("stayers are filtered out"),
+                        Decision::Grow(split) => {
+                            // The proposal verified both children meet
+                            // `min_leaf` with these exact comparisons.
+                            tree.grow_unchecked(leaf as usize, split, xs, ys, &ctx);
+                        }
+                        Decision::Prune => {
+                            tree.prune(leaf as usize, &ctx);
+                        }
+                    }
+                    (slot, tree, leaf, decision)
+                })
+                .collect();
+        }
+        let mut depth_bound = self.depth_bound;
+        for (slot, tree, _, _) in mover_trees {
+            depth_bound = depth_bound.max(tree.depth_bound());
+            self.arenas[slot as usize] = tree;
+        }
+        self.depth_bound = depth_bound;
 
         self.scratch = scratch;
     }
+}
 
-    /// Per-particle `(flat tree, per-leaf payload)` tables for one batch
-    /// call. `payload` receives the particle, its flattened nodes and a
-    /// zero-initialized per-node table to fill.
-    fn particle_tables<T: Clone + Default + Send>(
-        &self,
-        payload: impl Fn(&ParticleTree, &[FlatNode], &mut Vec<T>) + Sync,
-    ) -> Vec<(Vec<FlatNode>, Vec<T>)> {
-        self.particles
-            .par_iter()
-            .map(|particle| {
-                let mut flat = Vec::new();
-                particle.flatten_into(&mut flat);
-                let mut table = vec![T::default(); flat.len()];
-                payload(particle, &flat, &mut table);
-                (flat, table)
-            })
-            .collect()
+/// One fused forward scan of `(features, target)` records accumulating, for
+/// each of `K` split attempts, the left side's `(n, Σy, Σy²)` via 0/1
+/// masks. `K` is monomorphized so the three accumulator sets live in
+/// registers; the summation order is the scan order for every `K`, so the
+/// batched evaluation matches an attempt-at-a-time one bit for bit.
+fn scan_left<'s, const K: usize, I>(
+    scan: I,
+    dims: &[usize; ATTEMPT_BATCH],
+    thresholds: &[f64; ATTEMPT_BATCH],
+) -> (
+    [f64; ATTEMPT_BATCH],
+    [f64; ATTEMPT_BATCH],
+    [f64; ATTEMPT_BATCH],
+)
+where
+    I: Iterator<Item = (&'s [f64], f64)>,
+{
+    let mut local_dims = [0usize; K];
+    let mut local_thr = [0.0f64; K];
+    local_dims.copy_from_slice(&dims[..K]);
+    local_thr.copy_from_slice(&thresholds[..K]);
+    let mut n = [0.0f64; K];
+    let mut s = [0.0f64; K];
+    let mut q = [0.0f64; K];
+    for (row, y) in scan {
+        let y_sq = y * y;
+        for k in 0..K {
+            let mask = f64::from(row[local_dims[k]] <= local_thr[k]);
+            n[k] += mask;
+            s[k] += mask * y;
+            q[k] += mask * y_sq;
+        }
+    }
+    let mut n_out = [0.0f64; ATTEMPT_BATCH];
+    let mut s_out = [0.0f64; ATTEMPT_BATCH];
+    let mut q_out = [0.0f64; ATTEMPT_BATCH];
+    n_out[..K].copy_from_slice(&n);
+    s_out[..K].copy_from_slice(&s);
+    q_out[..K].copy_from_slice(&q);
+    (n_out, s_out, q_out)
+}
+
+/// Clones the arena in `src` into `dst` (disjoint slots of the same pool),
+/// reusing `dst`'s allocations.
+fn clone_slot(arenas: &mut [ParticleTree], src: usize, dst: usize) {
+    debug_assert_ne!(src, dst);
+    if src < dst {
+        let (a, b) = arenas.split_at_mut(dst);
+        b[0].clone_from(&a[src]);
+    } else {
+        let (a, b) = arenas.split_at_mut(src);
+        a[dst].clone_from(&b[0]);
     }
 }
 
@@ -428,13 +847,6 @@ fn systematic_resample(
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum MoveKind {
-    Stay,
-    Grow(Split),
-    Prune,
-}
-
 impl SurrogateModel for DynaTree {
     fn fit(&mut self, xs: &[&[f64]], ys: &[f64]) -> Result<()> {
         let dim = validate_training_set(xs, ys)?;
@@ -446,15 +858,30 @@ impl SurrogateModel for DynaTree {
         let mean = ys.iter().sum::<f64>() / ys.len() as f64;
         let variance = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / ys.len() as f64;
         self.prior = LeafPrior::weakly_informative(mean, (0.25 * variance).max(1e-10));
+        self.table = LnGammaTable::new(&self.prior);
+        self.table.ensure(1);
 
-        // Start every particle as a root leaf holding the first observation,
-        // then stream the remaining observations through the standard
-        // particle-learning update.
+        // Start from a *single* root tree shared by every particle: the
+        // structural sharing machinery lets particles diverge only when
+        // their moves do, so the early fit updates run once per unique tree
+        // instead of once per particle.
         self.xs.push_row(xs[0]);
         self.ys.push(ys[0]);
-        self.particles = (0..self.config.particles)
-            .map(|_| ParticleTree::new_root(vec![0], &self.ys))
-            .collect();
+        self.arenas.clear();
+        self.arena_refs.clear();
+        self.arena_free.clear();
+        self.particles.clear();
+        self.depth_bound = 0;
+        if self.config.particles > 0 {
+            let ctx = MomentCtx {
+                prior: &self.prior,
+                table: &self.table,
+            };
+            self.arenas
+                .push(ParticleTree::new_root(&[0], &self.xs, &self.ys, &ctx));
+            self.arena_refs.push(self.config.particles as u32);
+            self.particles = vec![0; self.config.particles];
+        }
         for (x, &y) in xs.iter().zip(ys).skip(1) {
             self.update_inner(x, y);
         }
@@ -477,13 +904,12 @@ impl SurrogateModel for DynaTree {
         }
         let mut mean_acc = 0.0;
         let mut second_moment = 0.0;
-        for particle in &self.particles {
-            let leaf = particle.find_leaf(x);
-            let (m, v) = particle
-                .leaf_stats(leaf)
-                .predictive_mean_variance(&self.prior);
-            mean_acc += m;
-            second_moment += v + m * m;
+        for &(slot, mult) in &self.arena_groups() {
+            let tree = &self.arenas[slot as usize];
+            let m = &tree.leaf_moments()[find_leaf_flat(tree.flat_nodes(), x)];
+            let k = mult as f64;
+            mean_acc += k * m.mean;
+            second_moment += k * (m.variance + m.mean * m.mean);
         }
         let n = self.particles.len() as f64;
         let mean = mean_acc / n;
@@ -501,30 +927,32 @@ impl SurrogateModel for DynaTree {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
-        // Per-particle flat traversal trees and per-leaf Student-t moments,
-        // computed once and shared by every input row.
-        let tables = self.particle_tables(|particle, _, moments: &mut Vec<(f64, f64)>| {
-            for leaf in particle.leaves() {
-                moments[leaf] = particle
-                    .leaf_stats(leaf)
-                    .predictive_mean_variance(&self.prior);
-            }
-        });
+        // The cached flat traversals and leaf moments make this a pure read:
+        // no flattening, no posterior computation, just one traversal per
+        // (unique tree, input) pair. Candidate blocks are chunked directly
+        // by index; block `b` covers `inputs[b*SCORE_BLOCK..]`.
+        let groups = self.arena_groups();
         let n = self.particles.len() as f64;
-        let blocks: Vec<&[&[f64]]> = inputs.chunks(SCORE_BLOCK).collect();
-        let scored: Vec<Vec<Prediction>> = blocks
+        let scored: Vec<Vec<Prediction>> = (0..inputs.len().div_ceil(SCORE_BLOCK))
             .into_par_iter()
-            .map(|block| {
-                // Accumulate over particles in index order, exactly like
-                // `predict`, so results are bit-identical to the single-point
-                // method and independent of the thread count.
+            .map(|b| {
+                let lo = b * SCORE_BLOCK;
+                let block = &inputs[lo..(lo + SCORE_BLOCK).min(inputs.len())];
+                // Accumulate over unique trees in first-seen particle order
+                // with multiplicity weights, exactly like `predict`, so
+                // results are bit-identical to the single-point method and
+                // independent of the thread count.
                 let mut mean_acc = vec![0.0f64; block.len()];
                 let mut second_moment = vec![0.0f64; block.len()];
-                for (flat, moments) in &tables {
+                for &(slot, mult) in &groups {
+                    let tree = &self.arenas[slot as usize];
+                    let flat = tree.flat_nodes();
+                    let moments = tree.leaf_moments();
+                    let k = mult as f64;
                     for (i, x) in block.iter().enumerate() {
-                        let (m, v) = moments[find_leaf_flat(flat, x)];
-                        mean_acc[i] += m;
-                        second_moment[i] += v + m * m;
+                        let m = &moments[find_leaf_flat(flat, x)];
+                        mean_acc[i] += k * m.mean;
+                        second_moment[i] += k * (m.variance + m.mean * m.mean);
                     }
                 }
                 mean_acc
@@ -573,40 +1001,49 @@ impl ActiveSurrogate for DynaTree {
         if candidates.is_empty() {
             return Ok(Vec::new());
         }
-        // Pre-compute, per particle, each leaf's contribution to a candidate
-        // landing in it. Observing a candidate shrinks the predictive
-        // variance of its leaf by roughly a factor 1/(n_eff + 1), so the
-        // expected reduction in *average* variance over the reference set is
-        // (sum of the leaf's reference variance) / (n_eff + 1), averaged over
-        // particles. Leaves containing no reference mass contribute nothing —
-        // exactly like Cohn's criterion, which integrates the reduction over
-        // the input distribution. The reference traversals and the division
-        // are shared across all candidates; the per-candidate work is one
-        // flat-tree traversal and one table add per particle.
-        let tables = self.particle_tables(|particle, flat, add: &mut Vec<f64>| {
-            for r in reference {
-                let leaf = find_leaf_flat(flat, r);
-                let (_, v) = particle
-                    .leaf_stats(leaf)
-                    .predictive_mean_variance(&self.prior);
-                add[leaf] += v;
-            }
-            for (leaf, affected) in add.iter_mut().enumerate() {
-                if *affected > 0.0 {
-                    let n_eff = particle.leaf_stats(leaf).count() as f64 + self.prior.kappa;
-                    *affected /= n_eff + 1.0;
+        // Pre-compute, per unique tree, each leaf's contribution to a
+        // candidate landing in it. Observing a candidate shrinks the
+        // predictive variance of its leaf by roughly a factor 1/(n_eff + 1),
+        // so the expected reduction in *average* variance over the reference
+        // set is (sum of the leaf's reference variance) / (n_eff + 1),
+        // averaged over particles. Leaves containing no reference mass
+        // contribute nothing — exactly like Cohn's criterion, which
+        // integrates the reduction over the input distribution. The
+        // reference traversals and the division are shared across all
+        // candidates (and all particles of a shared tree); the per-candidate
+        // work is one cached flat traversal and one table add per unique
+        // tree.
+        let groups = self.arena_groups();
+        let tables: Vec<(u32, f64, Vec<f64>)> = groups
+            .par_iter()
+            .map(|&(slot, mult)| {
+                let tree = &self.arenas[slot as usize];
+                let flat = tree.flat_nodes();
+                let moments = tree.leaf_moments();
+                let mut add = vec![0.0f64; flat.len()];
+                for r in reference {
+                    let leaf = find_leaf_flat(flat, r);
+                    add[leaf] += moments[leaf].variance;
                 }
-            }
-        });
+                for (leaf, affected) in add.iter_mut().enumerate() {
+                    if *affected > 0.0 {
+                        *affected /= moments[leaf].n_eff + 1.0;
+                    }
+                }
+                (slot, mult as f64, add)
+            })
+            .collect();
         let denominator = reference.len() as f64 * self.particles.len() as f64;
-        let blocks: Vec<&[&[f64]]> = candidates.chunks(SCORE_BLOCK).collect();
-        let scored: Vec<Vec<f64>> = blocks
+        let scored: Vec<Vec<f64>> = (0..candidates.len().div_ceil(SCORE_BLOCK))
             .into_par_iter()
-            .map(|block| {
+            .map(|b| {
+                let lo = b * SCORE_BLOCK;
+                let block = &candidates[lo..(lo + SCORE_BLOCK).min(candidates.len())];
                 let mut totals = vec![0.0f64; block.len()];
-                for (flat, add) in &tables {
+                for (slot, k, add) in &tables {
+                    let flat = self.arenas[*slot as usize].flat_nodes();
                     for (total, candidate) in totals.iter_mut().zip(block) {
-                        *total += add[find_leaf_flat(flat, candidate)];
+                        *total += k * add[find_leaf_flat(flat, candidate)];
                     }
                 }
                 totals.iter().map(|t| t / denominator).collect()
@@ -803,6 +1240,18 @@ mod tests {
         rayon::set_num_threads(0);
         assert_eq!(parallel_alc, serial_alc);
         assert_eq!(parallel_alm, serial_alm);
+    }
+
+    #[test]
+    fn structural_sharing_survives_updates() {
+        let model = fit_on(|x| (2.0 * x).sin(), 60, 37);
+        let unique = model.unique_tree_count();
+        assert!(unique <= 80, "at most one tree per particle");
+        assert!(unique >= 1);
+        // Sharing bookkeeping stays consistent with the particle set.
+        let total: u32 = model.arena_groups().iter().map(|&(_, mult)| mult).sum();
+        assert_eq!(total as usize, 80);
+        model.validate_caches().unwrap();
     }
 
     #[test]

@@ -77,6 +77,16 @@ impl LeafStats {
         self.stats.push(y);
     }
 
+    /// Builds statistics directly from accumulator parts (`Σ(y−mean)²` as
+    /// `m2`) — the dynamic tree's grow move computes child statistics with
+    /// a two-pass sum instead of per-point online updates and materializes
+    /// them through this.
+    pub fn from_parts(count: usize, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        LeafStats {
+            stats: OnlineStats::from_parts(count, mean, m2, min, max),
+        }
+    }
+
     /// Number of targets in the leaf.
     pub fn count(&self) -> usize {
         self.stats.count()
@@ -90,6 +100,15 @@ impl LeafStats {
     /// Sum of squared deviations from the mean.
     fn sum_sq_dev(&self) -> f64 {
         self.stats.variance() * (self.stats.count().saturating_sub(1)) as f64
+    }
+
+    /// `(Σy, Σy²)` recovered from the online statistics — the totals a
+    /// split proposal needs to score the right child as `totals − left`.
+    pub fn sum_and_sum_sq(&self) -> (f64, f64) {
+        let n = self.count() as f64;
+        let mean = self.mean();
+        let sum = n * mean;
+        (sum, self.sum_sq_dev() + sum * mean)
     }
 
     /// Posterior NIG parameters given `prior`.
@@ -163,6 +182,229 @@ impl LeafStats {
     pub fn merge(&mut self, other: &LeafStats) {
         self.stats.merge(&other.stats);
     }
+
+    /// [`log_marginal_likelihood`](LeafStats::log_marginal_likelihood) with
+    /// the `ln Γ` evaluations served from a precomputed [`LnGammaTable`].
+    ///
+    /// Bit-identical to the direct computation: the table stores values of
+    /// the exact same `ln_gamma` at the exact same arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table does not cover this leaf's count (see
+    /// [`LnGammaTable::ensure`]).
+    pub fn log_marginal_likelihood_with(&self, prior: &LeafPrior, table: &LnGammaTable) -> f64 {
+        let n = self.count() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let post = self.posterior(prior);
+        // `ln κ₀` and `ln κₙ` come from the table too: `κₙ = κ₀ + n` is the
+        // same expression the table rows are built from, so the values are
+        // bit-identical to computing the logarithms here.
+        table.ln_gamma_shape(self.count()) - table.ln_gamma_shape(0)
+            + prior.shape * prior.scale.ln()
+            - post.shape * post.scale.ln()
+            + 0.5 * (table.ln_kappa(0) - table.ln_kappa(self.count()))
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Computes the full set of derived per-leaf quantities the dynamic tree
+    /// caches per node: predictive moments, log marginal likelihood and the
+    /// observation-independent parts of the log predictive density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table does not cover this leaf's count.
+    pub fn moments(&self, prior: &LeafPrior, table: &LnGammaTable) -> LeafMoments {
+        let n = self.count();
+        // One posterior computation feeds the predictive moments, the
+        // density constants *and* the marginal likelihood (same formula as
+        // `log_marginal_likelihood_with`, which recomputes the posterior —
+        // fused here because this runs once per leaf refresh on the update
+        // hot path).
+        let post = self.posterior(prior);
+        let df = 2.0 * post.shape;
+        let scale_sq = post.scale * (post.kappa + 1.0) / (post.shape * post.kappa);
+        let variance = if df > 2.0 {
+            scale_sq * df / (df - 2.0)
+        } else {
+            scale_sq
+        };
+        let lml = if n == 0 {
+            0.0
+        } else {
+            table.ln_gamma_shape(n) - table.ln_gamma_shape(0) + prior.shape * prior.scale.ln()
+                - post.shape * post.scale.ln()
+                + 0.5 * (table.ln_kappa(0) - table.ln_kappa(n))
+                - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
+        };
+        // ln Γ(½(df+1)) = ln Γ(shape_n + ½) and ln Γ(½ df) = ln Γ(shape_n):
+        // both depend on the data only through the count, so they come from
+        // the shared table.
+        let density_const = table.ln_gamma_shape_plus_half(n)
+            - table.ln_gamma_shape(n)
+            - 0.5 * (df * std::f64::consts::PI * scale_sq).ln();
+        LeafMoments {
+            mean: post.mean,
+            variance,
+            lml,
+            n_eff: n as f64 + prior.kappa,
+            density_const,
+            half_df_plus_one: 0.5 * (df + 1.0),
+            inv_df_scale_sq: 1.0 / (df * scale_sq),
+        }
+    }
+}
+
+/// Cached per-leaf derived quantities of the dynamic tree.
+///
+/// Everything a scoring or particle-learning step needs from a leaf — the
+/// Student-t predictive moments, the log marginal likelihood that weights
+/// structural moves, and the observation-independent parts of the log
+/// predictive density — is a pure function of the leaf's [`LeafStats`], the
+/// shared [`LeafPrior`] and the shared [`LnGammaTable`]. The dynamic tree
+/// keeps one `LeafMoments` per node, refreshed whenever the leaf's
+/// statistics change, so the hot paths never recompute posteriors or
+/// `ln Γ` terms.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LeafMoments {
+    /// Posterior-predictive mean.
+    pub mean: f64,
+    /// Posterior-predictive variance.
+    pub variance: f64,
+    /// Log marginal likelihood of the leaf's targets.
+    pub lml: f64,
+    /// Effective observation count `n + κ₀` (the ALC shrinkage denominator
+    /// is `n_eff + 1`).
+    pub n_eff: f64,
+    /// `ln Γ(½(df+1)) − ln Γ(½ df) − ½ ln(df π s²)`.
+    density_const: f64,
+    /// `½ (df + 1)`.
+    half_df_plus_one: f64,
+    /// `1 / (df s²)`.
+    inv_df_scale_sq: f64,
+}
+
+impl LeafMoments {
+    /// Log posterior-predictive density of a new target `y` — the particle
+    /// weight of the resampling step, evaluated from cached constants with
+    /// four flops and one `ln`.
+    #[inline]
+    pub fn log_density(&self, y: f64) -> f64 {
+        let d = y - self.mean;
+        self.density_const - self.half_df_plus_one * (1.0 + d * d * self.inv_df_scale_sq).ln()
+    }
+}
+
+/// Memoized `ln Γ` evaluations at the only arguments the leaf model ever
+/// needs.
+///
+/// Every `ln Γ` in the leaf posterior is evaluated at `a₀ + n/2` or
+/// `a₀ + n/2 + ½` where `a₀` is the (fit-time frozen) prior shape and `n`
+/// is a leaf count — an integer bounded by the total number of
+/// observations. The dynamic tree keeps one table per model, extends it
+/// once per update (serially, before the parallel phases read it), and
+/// thereby removes every `ln Γ` evaluation from the per-particle hot path.
+#[derive(Debug, Clone, Default)]
+pub struct LnGammaTable {
+    shape: f64,
+    kappa: f64,
+    /// `base[n] = ln Γ(shape + n/2)`.
+    base: Vec<f64>,
+    /// `half[n] = ln Γ(shape + n/2 + ½)`.
+    half: Vec<f64>,
+    /// `ln_kappa[n] = ln(κ₀ + n)` — not a `ln Γ`, but memoized by count for
+    /// the same reason.
+    ln_kappa: Vec<f64>,
+}
+
+impl LnGammaTable {
+    /// Creates a table for the given prior's shape and `κ₀`, covering
+    /// count 0.
+    pub fn new(prior: &LeafPrior) -> Self {
+        let mut table = LnGammaTable {
+            shape: prior.shape,
+            kappa: prior.kappa,
+            base: Vec::new(),
+            half: Vec::new(),
+            ln_kappa: Vec::new(),
+        };
+        table.ensure(0);
+        table
+    }
+
+    /// Extends the table to cover all counts `0..=max_count`.
+    pub fn ensure(&mut self, max_count: usize) {
+        while self.base.len() <= max_count {
+            let n = self.base.len() as f64;
+            // Same expression as `LeafStats::posterior`: shape_n = a₀ + n/2.
+            let shape_n = self.shape + 0.5 * n;
+            self.base.push(ln_gamma(shape_n));
+            self.half.push(ln_gamma(shape_n + 0.5));
+            self.ln_kappa.push((self.kappa + n).ln());
+        }
+    }
+
+    /// Largest covered count.
+    pub fn max_count(&self) -> usize {
+        self.base.len().saturating_sub(1)
+    }
+
+    /// `ln Γ(a₀ + count/2)` — the posterior shape for a leaf of `count`
+    /// observations.
+    #[inline]
+    pub fn ln_gamma_shape(&self, count: usize) -> f64 {
+        self.base[count]
+    }
+
+    /// `ln Γ(a₀ + count/2 + ½)`.
+    #[inline]
+    pub fn ln_gamma_shape_plus_half(&self, count: usize) -> f64 {
+        self.half[count]
+    }
+
+    /// `ln(κ₀ + count)` — the posterior `ln κₙ`.
+    #[inline]
+    pub fn ln_kappa(&self, count: usize) -> f64 {
+        self.ln_kappa[count]
+    }
+}
+
+/// Log marginal likelihood of a hypothetical leaf described by its raw sums
+/// `(count, Σy, Σy²)` under `prior`.
+///
+/// This is the proposal-scoring fast path of the dynamic tree's grow move:
+/// a candidate split partitions a leaf with three fused accumulators per
+/// side instead of a running Welford update, and the likelihood is
+/// evaluated straight from the sums with one data-dependent `ln` (all other
+/// logarithms come from the table). The accepted split's *actual* child
+/// statistics are still built with the numerically robust online update in
+/// `ParticleTree::grow`; this function only ranks proposals, where the
+/// (tiny, `Σy²`-cancellation-sized) difference from the Welford route is
+/// statistically irrelevant.
+pub fn log_marginal_likelihood_of_sums(
+    count: usize,
+    sum: f64,
+    sum_sq: f64,
+    prior: &LeafPrior,
+    table: &LnGammaTable,
+) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let n = count as f64;
+    let mean = sum / n;
+    let sum_sq_dev = (sum_sq - sum * mean).max(0.0);
+    let kappa_n = prior.kappa + n;
+    let shape_n = prior.shape + 0.5 * n;
+    let scale_n = prior.scale
+        + 0.5 * sum_sq_dev
+        + 0.5 * prior.kappa * n * (mean - prior.mean) * (mean - prior.mean) / kappa_n;
+    table.ln_gamma_shape(count) - table.ln_gamma_shape(0) + prior.shape * prior.scale.ln()
+        - shape_n * scale_n.ln()
+        + 0.5 * (table.ln_kappa(0) - table.ln_kappa(count))
+        - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
 }
 
 #[cfg(test)]
@@ -266,6 +508,84 @@ mod tests {
             (sequential - direct).abs() < 1e-8,
             "chain rule {sequential} vs direct {direct}"
         );
+    }
+
+    #[test]
+    fn table_lml_is_bit_identical_to_direct_lml() {
+        let p = prior();
+        let mut table = LnGammaTable::new(&p);
+        table.ensure(64);
+        for n in [0usize, 1, 2, 5, 17, 64] {
+            let targets: Vec<f64> = (0..n).map(|i| 1.0 + 0.3 * ((i % 7) as f64 - 3.0)).collect();
+            let leaf = LeafStats::from_targets(&targets);
+            assert_eq!(
+                leaf.log_marginal_likelihood(&p),
+                leaf.log_marginal_likelihood_with(&p, &table),
+                "count {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn moments_agree_with_the_direct_computations() {
+        let p = prior();
+        let mut table = LnGammaTable::new(&p);
+        table.ensure(40);
+        let leaf = LeafStats::from_targets(
+            &(0..40)
+                .map(|i| 2.0 + 0.2 * ((i % 5) as f64 - 2.0))
+                .collect::<Vec<_>>(),
+        );
+        let m = leaf.moments(&p, &table);
+        let (mean, variance) = leaf.predictive_mean_variance(&p);
+        assert_eq!(m.mean, mean);
+        assert_eq!(m.variance, variance);
+        assert_eq!(m.lml, leaf.log_marginal_likelihood(&p));
+        assert_eq!(m.n_eff, 40.0 + p.kappa);
+        for y in [1.5, 2.0, 2.7] {
+            let direct = leaf.log_predictive_density(&p, y);
+            let cached = m.log_density(y);
+            assert!(
+                (direct - cached).abs() < 1e-12,
+                "density at {y}: direct {direct} vs cached {cached}"
+            );
+        }
+    }
+
+    #[test]
+    fn lml_of_sums_matches_the_welford_route() {
+        let p = prior();
+        let mut table = LnGammaTable::new(&p);
+        table.ensure(32);
+        for n in [1usize, 2, 7, 32] {
+            let targets: Vec<f64> = (0..n).map(|i| 1.3 + 0.4 * ((i % 6) as f64 - 2.5)).collect();
+            let leaf = LeafStats::from_targets(&targets);
+            let sum: f64 = targets.iter().sum();
+            let sum_sq: f64 = targets.iter().map(|y| y * y).sum();
+            let direct = leaf.log_marginal_likelihood(&p);
+            let from_sums = log_marginal_likelihood_of_sums(n, sum, sum_sq, &p, &table);
+            assert!(
+                (direct - from_sums).abs() < 1e-9,
+                "count {n}: welford {direct} vs sums {from_sums}"
+            );
+        }
+        assert_eq!(
+            log_marginal_likelihood_of_sums(0, 0.0, 0.0, &p, &table),
+            0.0
+        );
+    }
+
+    #[test]
+    fn table_extends_lazily_and_reports_coverage() {
+        let p = prior();
+        let mut table = LnGammaTable::new(&p);
+        assert_eq!(table.max_count(), 0);
+        table.ensure(10);
+        assert_eq!(table.max_count(), 10);
+        table.ensure(3); // never shrinks
+        assert_eq!(table.max_count(), 10);
+        assert_eq!(table.ln_gamma_shape(0), ln_gamma(p.shape));
+        assert_eq!(table.ln_gamma_shape(4), ln_gamma(p.shape + 2.0));
     }
 
     #[test]

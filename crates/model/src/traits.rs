@@ -70,6 +70,19 @@ pub trait SurrogateModel: std::fmt::Debug {
     /// with exploitable structure (such as the dynamic tree) override it to
     /// share per-model work across the batch and evaluate rows in parallel.
     ///
+    /// # Determinism contract
+    ///
+    /// Overrides that parallelize **must** produce bit-identical results
+    /// regardless of the worker-thread count: write results back by index
+    /// and keep every floating-point accumulation in a fixed,
+    /// thread-independent order. The experiment stack's reproducibility
+    /// guarantees (golden reports, sharded-campaign merge equality, the
+    /// `batch_consistency` suite) all lean on this; the same rule applies
+    /// to parallel [`fit`](SurrogateModel::fit) /
+    /// [`update`](SurrogateModel::update) implementations, which the
+    /// dynamic tree realizes with per-`(seed, observation, particle)`
+    /// derived RNG streams.
+    ///
     /// # Errors
     ///
     /// Propagates prediction errors.

@@ -38,16 +38,26 @@ fn parse_thread_count(value: &str) -> Option<usize> {
 /// [`set_num_threads`] override when set, else the `RAYON_NUM_THREADS`
 /// environment variable when set to a positive integer, otherwise the
 /// machine's available parallelism.
+///
+/// The environment-driven default is computed once and cached:
+/// `available_parallelism` reads `/proc` and cgroup files on Linux on
+/// *every* call, which would turn each fine-grained parallel operation into
+/// a handful of syscalls. Real rayon resolves its pool size once at pool
+/// construction for the same reason; runtime reconfiguration goes through
+/// [`set_num_threads`], which bypasses the cache.
 pub fn current_num_threads() -> usize {
+    static DEFAULT_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     match THREAD_OVERRIDE.load(Ordering::Relaxed) {
-        0 => std::env::var("RAYON_NUM_THREADS")
-            .ok()
-            .and_then(|v| parse_thread_count(&v))
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            }),
+        0 => *DEFAULT_THREADS.get_or_init(|| {
+            std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|v| parse_thread_count(&v))
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                })
+        }),
         n => n,
     }
 }
