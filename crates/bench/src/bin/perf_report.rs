@@ -5,18 +5,22 @@
 //! dynamic-tree fit at 1 worker thread and at the machine's full thread
 //! count, so the report tracks thread scaling of the parallel particle
 //! updates), a full small learner run, the Gaussian-process fit /
-//! incremental-update / acquisition workloads (since PR 3) and the
-//! campaign-runner orchestration path (`campaign_run_*`, since PR 4) — and
-//! writes a JSON report (schema documented in the [`alic_bench`] crate
-//! docs). The canonical `full` scale carries the PR 4 baseline timings
-//! measured on the same machine, so the report states the speedup of the
-//! arena-backed dynamic tree directly.
+//! incremental-update / acquisition workloads (since PR 3), the
+//! campaign-runner orchestration path (`campaign_run_*`, since PR 4), and
+//! the sparse-GP workloads (`sgp_*`, since PR 6): a 100k-point low-rank
+//! fit and ALC pass at a scale where the dense GP's O(n³)/O(n²) costs are
+//! simply infeasible, an update loop whose O(m²) cost is independent of
+//! the 100k training set behind it, and a dense-vs-sparse crossover fit at
+//! the dense GP's own `gp_fit` scale. The report is JSON (schema documented
+//! in the [`alic_bench`] crate docs); the canonical `full` scale carries
+//! the PR 5 baseline timings measured on the same machine, so the report
+//! states the speedup of the bitset/block scan kernels directly.
 //!
 //! ```text
-//! cargo run --release --bin perf_report                     # full scale -> BENCH_PR5.json
+//! cargo run --release --bin perf_report                     # full scale -> BENCH_PR6.json
 //! cargo run --release --bin perf_report -- --scale smoke --out /tmp/smoke.json
 //! cargo run --release --bin perf_report -- --scale smoke \
-//!     --baseline BENCH_PR4.json --max-regression 2.0       # CI regression gate
+//!     --baseline BENCH_PR5.json --max-regression 2.0       # CI regression gate
 //! ```
 //!
 //! `--scale smoke` (or `ALIC_PERF_SCALE=smoke`) runs tiny versions of every
@@ -35,8 +39,14 @@
 //! every workload whose name appears in both, the regression ratio
 //! `seconds / baseline_seconds`. With `--max-regression X` the binary exits
 //! non-zero when any ratio exceeds `X` — the CI perf-smoke job runs this
-//! against the committed `BENCH_PR4.json` so gross performance regressions
-//! fail the build. `--merge PATH` folds the workloads of an existing report
+//! against the committed `BENCH_PR5.json` so gross performance regressions
+//! fail the build. A baseline workload whose entire *family* (the name stem
+//! before the parameter tokens, e.g. `dynatree_fit`) has disappeared from
+//! the current run is reported as missing — so a renamed workload cannot
+//! silently drop out of the gate — and with `--max-regression` that too is
+//! a non-zero exit. Same-family entries at other scales (the committed
+//! reports mix full- and smoke-scale names) are matched by family and stay
+//! silent. `--merge PATH` folds the workloads of an existing report
 //! into the written one (fresh measurements win on name collisions), which
 //! is how the committed reports carry both full- and smoke-scale entries.
 
@@ -50,21 +60,25 @@ use alic_core::plan::SamplingPlan;
 use alic_core::runner::run_campaign;
 use alic_model::dynatree::{DynaTree, DynaTreeConfig};
 use alic_model::gp::GaussianProcess;
+use alic_model::sgp::{SparseGaussianProcess, SparseGpConfig};
 use alic_model::{row_views, ActiveSurrogate, SurrogateModel};
 
-/// PR 4 baseline, measured on the same machine (single core, release build,
-/// best of N) from a worktree checkout of the PR 4 commit immediately before
-/// this PR landed. The thread-scaling workloads are new in PR 5 and have no
+/// PR 5 baseline, measured on the same machine (single core, release build,
+/// per-workload best over three repeated report runs to defeat clock
+/// drift) from a worktree checkout of the PR 5 commit immediately before
+/// this PR landed. The sparse-GP workloads are new in PR 6 and have no
 /// prior baseline. `None` marks workloads without a recorded baseline.
-const FULL_BASELINES: [(&str, Option<f64>); 8] = [
-    ("alc_scores_500x50_200p", Some(0.001222)),
-    ("dynatree_fit_1000x200p", Some(0.596091)),
-    ("dynatree_update_200x200p", Some(0.134255)),
-    ("learner_run_60it_500c_200p", Some(0.072843)),
-    ("gp_fit_1000", Some(0.111928)),
-    ("gp_update_200x300", Some(0.033326)),
-    ("gp_alc_500x50_300", Some(0.001351)),
-    ("campaign_run_6u_60it_200p", Some(0.411165)),
+const FULL_BASELINES: [(&str, Option<f64>); 10] = [
+    ("alc_scores_500x50_200p", Some(0.001032)),
+    ("dynatree_fit_1000x200p", Some(0.165021)),
+    ("dynatree_update_200x200p", Some(0.056468)),
+    ("dynatree_fit_1000x200p_t1", Some(0.168168)),
+    ("dynatree_fit_1000x200p_tmax", Some(0.181143)),
+    ("learner_run_60it_500c_200p", Some(0.050650)),
+    ("gp_fit_1000", Some(0.123902)),
+    ("gp_update_200x300", Some(0.034886)),
+    ("gp_alc_500x50_300", Some(0.001373)),
+    ("campaign_run_6u_60it_200p", Some(0.265637)),
 ];
 
 /// Minimum duration one timed measurement must cover. Workloads faster than
@@ -93,6 +107,12 @@ struct ScaleParams {
     learner_pool: usize,
     learner_iterations: usize,
     learner_candidates: usize,
+    /// Training-pool size for the sparse-GP workloads — the fleet-scale
+    /// regime the low-rank family exists for, far past where the dense GP
+    /// is feasible.
+    sgp_points: usize,
+    /// Inducing-set size for the sparse-GP workloads.
+    sgp_inducing: usize,
     /// Best-of repetitions for the (cheap) scoring workload and the
     /// (expensive) fit/update/learner workloads respectively.
     reps_scoring: usize,
@@ -110,6 +130,8 @@ const FULL: ScaleParams = ScaleParams {
     learner_pool: 1000,
     learner_iterations: 60,
     learner_candidates: 500,
+    sgp_points: 100_000,
+    sgp_inducing: 128,
     reps_scoring: 10,
     reps_heavy: 3,
 };
@@ -125,9 +147,21 @@ const SMOKE: ScaleParams = ScaleParams {
     learner_pool: 150,
     learner_iterations: 8,
     learner_candidates: 30,
+    sgp_points: 2_000,
+    sgp_inducing: 32,
     reps_scoring: 2,
     reps_heavy: 1,
 };
+
+/// Render a point count compactly for workload names: `100_000` → `100k`,
+/// smoke-scale counts stay literal.
+fn fmt_points(n: usize) -> String {
+    if n >= 10_000 && n.is_multiple_of(1_000) {
+        format!("{}k", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
 
 fn grid(n: usize, phase: usize) -> Vec<Vec<f64>> {
     (0..n)
@@ -483,6 +517,121 @@ fn run_workloads(params: &ScaleParams) -> Vec<WorkloadResult> {
         });
     }
 
+    // 9. Sparse-GP workloads (PR 6): the fleet-scale candidate-pool regime
+    //    the low-rank family exists for. At the full scale the dense GP is
+    //    simply infeasible here — a 100k-point cold fit is an O(n³)
+    //    factorization of an 80 GB kernel matrix — so these entries have no
+    //    dense counterpart; the crossover fit at the dense GP's own
+    //    `gp_fit` scale is the directly comparable pair.
+    {
+        let m = params.sgp_inducing;
+        let points = fmt_points(params.sgp_points);
+        let config = SparseGpConfig {
+            inducing: m,
+            ..Default::default()
+        };
+        let (xs, ys) = synthetic_training_data(params.sgp_points);
+        let views = row_views(&xs);
+
+        // 9a. Cold fit: O(nm²) feature sweep + m×m factorization.
+        let seconds = time_workload(
+            || {
+                let mut sgp = SparseGaussianProcess::new(config);
+                sgp.fit(&views, &ys).unwrap();
+                std::hint::black_box(&sgp);
+            },
+            params.reps_heavy,
+        );
+        let name = format!("sgp_fit_{points}_{m}m");
+        results.push(WorkloadResult {
+            description: format!(
+                "sparse-GP fit on {} points with {m} inducing points",
+                params.sgp_points
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+
+        let mut fitted = SparseGaussianProcess::new(config);
+        fitted.fit(&views, &ys).unwrap();
+
+        // 9b. Incremental updates: O(m²) rank-1 work per observation,
+        //     independent of the 100k-point history behind the model.
+        let updates = params.updates;
+        let seconds = time_workload(
+            || {
+                let mut model = fitted.clone();
+                for i in 0..updates {
+                    let x = vec![(i % 19) as f64 / 18.0, (i % 5) as f64 / 4.0];
+                    model.update(&x, 1.0 + (i % 3) as f64).unwrap();
+                }
+                std::hint::black_box(&model);
+            },
+            params.reps_heavy,
+        );
+        let name = format!("sgp_update_{points}_{updates}x{m}m");
+        results.push(WorkloadResult {
+            description: format!(
+                "{updates} incremental sparse-GP updates on a {}-point model",
+                params.sgp_points
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+
+        // 9c. ALC acquisition on the 100k-trained model: batched low-rank
+        //     predictions, O(m²) per query.
+        let candidates = grid(params.candidates, 0);
+        let candidates = row_views(&candidates);
+        let reference = grid(params.references, 3);
+        let reference = row_views(&reference);
+        let seconds = time_workload(
+            || {
+                std::hint::black_box(fitted.alc_scores(&candidates, &reference).unwrap());
+            },
+            params.reps_scoring,
+        );
+        let name = format!(
+            "sgp_alc_{points}_{}x{}_{m}m",
+            params.candidates, params.references
+        );
+        results.push(WorkloadResult {
+            description: format!(
+                "sparse-GP ALC-score {} candidates against {} references, {}-point model",
+                params.candidates, params.references, params.sgp_points
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+
+        // 9d. Dense-vs-sparse crossover: the same cold fit at the dense
+        //     GP's `gp_fit` scale, so the report carries the pair of
+        //     numbers that locates the crossover point.
+        let (xs, ys) = synthetic_training_data(params.fit_points);
+        let views = row_views(&xs);
+        let seconds = time_workload(
+            || {
+                let mut sgp = SparseGaussianProcess::new(config);
+                sgp.fit(&views, &ys).unwrap();
+                std::hint::black_box(&sgp);
+            },
+            params.reps_heavy,
+        );
+        let name = format!("sgp_fit_{}_{m}m", params.fit_points);
+        results.push(WorkloadResult {
+            description: format!(
+                "sparse-GP fit on {} points with {m} inducing points (dense-GP crossover pair)",
+                params.fit_points
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+    }
+
     results
 }
 
@@ -490,7 +639,7 @@ fn render_json(scale_label: &str, results: &[WorkloadResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"alic-perf-report/v1\",");
-    let _ = writeln!(out, "  \"pr\": 5,");
+    let _ = writeln!(out, "  \"pr\": 6,");
     let _ = writeln!(out, "  \"scale\": \"{scale_label}\",");
     let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
     out.push_str("  \"workloads\": [\n");
@@ -563,6 +712,23 @@ fn parse_report_workloads(text: &str) -> Vec<WorkloadResult> {
     out
 }
 
+/// The family stem of a workload name: the leading `_`-separated tokens up
+/// to (excluding) the first token that carries a digit, i.e. the name with
+/// its parameter encoding stripped. `dynatree_fit_1000x200p_t1` and
+/// `dynatree_fit_80x20p` are both family `dynatree_fit`; a wholesale rename
+/// changes the family and trips the missing-workload check.
+fn workload_family(name: &str) -> String {
+    let stem: Vec<&str> = name
+        .split('_')
+        .take_while(|token| !token.bytes().any(|b| b.is_ascii_digit()))
+        .collect();
+    if stem.is_empty() {
+        name.to_string()
+    } else {
+        stem.join("_")
+    }
+}
+
 fn load_report_workloads(path: &str) -> Vec<WorkloadResult> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read report {path}: {e}");
@@ -578,7 +744,7 @@ fn load_report_workloads(path: &str) -> Vec<WorkloadResult> {
 
 fn main() {
     let mut scale = std::env::var("ALIC_PERF_SCALE").unwrap_or_else(|_| "full".to_string());
-    let mut out_path = "BENCH_PR5.json".to_string();
+    let mut out_path = "BENCH_PR6.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut merge_path: Option<String> = None;
     let mut max_regression: Option<f64> = None;
@@ -661,6 +827,26 @@ fn main() {
                  nothing to compare (check the --scale of both reports)"
             );
         }
+        // Baseline workloads whose whole family no longer shows up in the
+        // current run mean a workload was dropped or renamed — it must not
+        // silently fall out of the regression gate. Same-family entries at
+        // another scale (the committed reports mix full and smoke names)
+        // are expected and stay silent.
+        let current_families: std::collections::BTreeSet<String> =
+            results.iter().map(|w| workload_family(&w.name)).collect();
+        for b in &prior {
+            if !current_families.contains(&workload_family(&b.name)) {
+                eprintln!(
+                    "warning: baseline workload {} ({}) has no counterpart in this run; \
+                     it dropped out of the regression gate",
+                    b.name,
+                    workload_family(&b.name)
+                );
+                if let Some(limit) = max_regression {
+                    regression_failures.push((format!("{} [missing]", b.name), f64::NAN, limit));
+                }
+            }
+        }
     }
 
     // Fold in a prior report's entries (fresh measurements win on name
@@ -683,7 +869,13 @@ fn main() {
 
     if !regression_failures.is_empty() {
         for (name, ratio, limit) in &regression_failures {
-            eprintln!("perf regression: {name} is {ratio:.2}x its baseline (limit {limit:.2}x)");
+            if ratio.is_nan() {
+                eprintln!("perf regression: {name} vanished from the gated workload set");
+            } else {
+                eprintln!(
+                    "perf regression: {name} is {ratio:.2}x its baseline (limit {limit:.2}x)"
+                );
+            }
         }
         std::process::exit(1);
     }

@@ -42,6 +42,13 @@
 //!   plus a few flops, move scoring reads cached likelihoods, and
 //!   steady-state `predict`/`predict_batch`/`alc_scores` calls do **zero**
 //!   flattening or posterior recomputation.
+//! * **Word-at-a-time split scans.** Each update gathers the receiving
+//!   leaf once into column-major feature/target buffers; every sharer's
+//!   split-proposal batch then runs through the [`scan`] kernels — u64
+//!   comparison-mask words, `popcnt` left counts and set-bit-ordered sums —
+//!   which are bit-identical to the scalar mask-multiply reference by
+//!   construction (property-tested), so the kernel choice is purely a
+//!   speed knob.
 //!
 //! The batch entry points ([`predict_batch`](SurrogateModel::predict_batch),
 //! [`alm_scores`](ActiveSurrogate::alm_scores),
@@ -52,6 +59,7 @@
 //! order — results are bit-identical to the single-point methods regardless
 //! of the thread count.
 
+pub mod scan;
 pub mod tree;
 
 use rand::Rng;
@@ -65,7 +73,12 @@ use crate::leaf::{log_marginal_likelihood_of_sums, LeafPrior, LnGammaTable};
 use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
 use crate::{validate_training_set, ModelError, Result};
 
-pub use tree::{find_leaf_flat, FlatNode, MomentCtx, ParticleTree, Split, FLAT_LEAF};
+use scan::{LeafColumns, ATTEMPT_BATCH, DEFAULT_SCAN_KIND};
+
+pub use tree::{
+    find_leaf_flat, find_leaves_flat_block, for_each_block_leaf, FlatNode, MomentCtx, ParticleTree,
+    QueryBlock, Split, FLAT_LEAF,
+};
 
 /// Candidates per parallel scoring block. Each block accumulates its scores
 /// independently (per-candidate work is ordered by particle index), so the
@@ -74,9 +87,6 @@ const SCORE_BLOCK: usize = 64;
 
 /// "No group" sentinel in the arena→group scratch map.
 const NO_GROUP: u32 = u32::MAX;
-
-/// Split-proposal attempts evaluated per fused scan of the gathered leaf.
-const ATTEMPT_BATCH: usize = 8;
 
 /// Configuration of the dynamic-tree model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -119,45 +129,6 @@ enum Decision {
     Prune,
 }
 
-/// Per-unique-tree copy of the leaf that received the new observation:
-/// row-major `[x₀, …, x_{d−1}, y]` records in point-list order. Built only
-/// for arenas shared by **several** particles — each sharer's proposal scan
-/// then reads one forward stream instead of chasing list links — and left
-/// empty for sole-owner arenas, whose single scan walks the tree directly
-/// (same point order, so both paths produce bit-identical sums).
-#[derive(Debug, Clone, Default)]
-struct GatherBuf {
-    rows: Vec<f64>,
-    stride: usize,
-}
-
-impl GatherBuf {
-    /// Marks the buffer as pass-through: proposals walk the point list.
-    fn clear(&mut self) {
-        self.rows.clear();
-    }
-
-    /// Whether proposals should walk the tree instead of scanning rows.
-    fn is_direct(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Gathers the leaf in one linked-list walk (the leaf's point count
-    /// comes from its statistics, so the rows are sized up front).
-    fn fill(&mut self, tree: &ParticleTree, leaf: usize, xs: &FeatureMatrix, ys: &[f64]) {
-        let stride = xs.dim() + 1;
-        let len = tree.leaf_stats(leaf).count();
-        self.stride = stride;
-        self.rows.clear();
-        self.rows.resize(stride * len, 0.0);
-        for (i, p) in tree.leaf_points(leaf).enumerate() {
-            let out = &mut self.rows[i * stride..(i + 1) * stride];
-            out[..stride - 1].copy_from_slice(xs.row(p));
-            out[stride - 1] = ys[p];
-        }
-    }
-}
-
 /// Reusable per-update workspace: after the first few updates no buffer here
 /// is ever reallocated, which keeps the particle-learning step
 /// allocation-free on the common path (the thread-pool shim's internal
@@ -179,7 +150,7 @@ struct UpdateScratch {
     /// Staging for the resampled particle→slot assignment.
     new_particles: Vec<u32>,
     /// Per-group gathered leaf columns for split proposals.
-    gather: Vec<GatherBuf>,
+    gather: Vec<LeafColumns>,
     /// Movers staged for the parallel apply pass:
     /// `(particle, slot, leaf, decision)`.
     movers: Vec<(u32, u32, u32, Decision)>,
@@ -355,18 +326,17 @@ impl DynaTree {
     /// returning the split and the children's combined log marginal
     /// likelihood. Reads the leaf's maintained bounds, its statistics'
     /// totals and the particle's own RNG stream; the points themselves come
-    /// from `make_scan` — either the shared row copy or a direct walk of
-    /// the tree's point list, which yield the same `(features, target)`
-    /// sequence and therefore bit-identical proposals.
+    /// from the per-group column gather, which lists them in point-list
+    /// order — the same sequence a direct walk of the tree would yield.
     ///
-    /// All attempts of a batch (up to [`ATTEMPT_BATCH`]) are evaluated by a
-    /// **single** branch-free forward scan: per point, each attempt
-    /// accumulates the left side's `(n, Σy, Σy²)` via a 0/1 mask. The right
-    /// side is `totals − left`, and the children's likelihoods come from
-    /// [`log_marginal_likelihood_of_sums`], compared in attempt order so
-    /// results match an attempt-at-a-time evaluation.
+    /// All attempts of a batch (up to [`ATTEMPT_BATCH`]) are handed to one
+    /// [`scan::scan_left`] call: each attempt's left-side `(n, Σy, Σy²)`
+    /// comes back bit-identical regardless of the configured kernel. The
+    /// right side is `totals − left`, and the children's likelihoods come
+    /// from [`log_marginal_likelihood_of_sums`], compared in attempt order
+    /// so results match an attempt-at-a-time evaluation.
     #[allow(clippy::too_many_arguments)]
-    fn propose_split<'s, I, F>(
+    fn propose_split<F>(
         config: &DynaTreeConfig,
         ctx: &MomentCtx<'_>,
         len: usize,
@@ -374,11 +344,18 @@ impl DynaTree {
         bounds: &[f64],
         dim: usize,
         rng: &mut SmallRng,
-        make_scan: F,
+        scan: F,
     ) -> Option<(Split, f64)>
     where
-        F: Fn() -> I,
-        I: Iterator<Item = (&'s [f64], f64)>,
+        F: Fn(
+            &[usize; ATTEMPT_BATCH],
+            &[f64; ATTEMPT_BATCH],
+            usize,
+        ) -> (
+            [f64; ATTEMPT_BATCH],
+            [f64; ATTEMPT_BATCH],
+            [f64; ATTEMPT_BATCH],
+        ),
     {
         if len < 2 * config.min_leaf {
             return None;
@@ -408,19 +385,7 @@ impl DynaTree {
             if live == 0 {
                 continue;
             }
-            // One fused forward scan accumulates every attempt's left side;
-            // the dispatch monomorphizes the hot loop per live-attempt
-            // count so the accumulators stay in registers.
-            let (n_left, sum_left, sum_sq_left) = match live {
-                1 => scan_left::<1, _>(make_scan(), &dims, &thresholds),
-                2 => scan_left::<2, _>(make_scan(), &dims, &thresholds),
-                3 => scan_left::<3, _>(make_scan(), &dims, &thresholds),
-                4 => scan_left::<4, _>(make_scan(), &dims, &thresholds),
-                5 => scan_left::<5, _>(make_scan(), &dims, &thresholds),
-                6 => scan_left::<6, _>(make_scan(), &dims, &thresholds),
-                7 => scan_left::<7, _>(make_scan(), &dims, &thresholds),
-                _ => scan_left::<8, _>(make_scan(), &dims, &thresholds),
-            };
+            let (n_left, sum_left, sum_sq_left) = scan(&dims, &thresholds, live);
             for k in 0..live {
                 let left_count = n_left[k] as usize;
                 let right_count = len - left_count;
@@ -463,7 +428,7 @@ impl DynaTree {
         split_prior: &[(f64, f64)],
         tree: &ParticleTree,
         leaf: usize,
-        gather: &GatherBuf,
+        gather: &LeafColumns,
         xs: &FeatureMatrix,
         ys: &[f64],
         dim: usize,
@@ -481,17 +446,24 @@ impl DynaTree {
         let stats = tree.leaf_stats(leaf);
         let (len, totals) = (stats.count(), stats.sum_and_sum_sq());
         let bounds = tree.leaf_bounds(leaf);
-        let proposal = if gather.is_direct() {
-            Self::propose_split(config, ctx, len, totals, bounds, dim, rng, || {
-                tree.leaf_points(leaf).map(|p| (xs.row(p), ys[p]))
+        // Sole-owner leaves stream the point list straight into the fused
+        // scalar kernel (the gather is skipped for them — see phase 5);
+        // shared leaves scan the gathered columns with the configured
+        // kernel. Both paths visit points in list order, so the proposals
+        // are bit-identical either way.
+        let proposal = if gather.is_empty() {
+            Self::propose_split(config, ctx, len, totals, bounds, dim, rng, |d, t, live| {
+                scan::scan_left_direct(
+                    tree.leaf_points(leaf).map(|p| (xs.row(p), ys[p])),
+                    d,
+                    t,
+                    live,
+                )
             })
         } else {
-            let stride = gather.stride;
-            Self::propose_split(config, ctx, len, totals, bounds, dim, rng, || {
-                gather
-                    .rows
-                    .chunks_exact(stride)
-                    .map(|r| (&r[..stride - 1], r[stride - 1]))
+            debug_assert_eq!(gather.len(), len, "gather out of sync with leaf");
+            Self::propose_split(config, ctx, len, totals, bounds, dim, rng, |d, t, live| {
+                scan::scan_left(DEFAULT_SCAN_KIND, gather, d, t, live)
             })
         };
         if let Some((split, children_lml)) = proposal {
@@ -616,11 +588,12 @@ impl DynaTree {
         }
 
         // 5. Insert the observation and gather the receiving leaf once per
-        //    *surviving* unique tree. Inserting is O(1) per tree and the
-        //    row copy only happens for the few arenas that are genuinely
-        //    shared, so this pass runs serially in place — staging trees
-        //    onto the thread pool costs more than the work itself.
-        scratch.gather.resize_with(groups, GatherBuf::default);
+        //    *surviving* unique tree. Inserting is O(1) per tree; the
+        //    column gather is one walk of the leaf's point list, after
+        //    which every sharer's proposal scan reads contiguous columns.
+        //    This pass runs serially in place — staging trees onto the
+        //    thread pool costs more than the work itself.
+        scratch.gather.resize_with(groups, LeafColumns::default);
         let ctx = MomentCtx {
             prior: &self.prior,
             table: &self.table,
@@ -634,12 +607,18 @@ impl DynaTree {
             let tree = &mut self.arenas[slot];
             let leaf = scratch.group_leaf[g] as usize;
             tree.insert_at(leaf, index, x, y, &ctx);
-            // The row copy pays off only when several sharers will scan it;
-            // a sole owner (or an unsplittable leaf) walks the list
-            // directly.
+            // The column copy pays off only when several sharers will scan
+            // it; a sole owner streams the list directly into the fused
+            // kernel, and an unsplittable leaf never reaches the scan.
             let gather = &mut scratch.gather[g];
-            if self.arena_refs[slot] > 1 && tree.leaf_stats(leaf).count() >= 2 * min_leaf {
-                gather.fill(tree, leaf, &self.xs, &self.ys);
+            let count = tree.leaf_stats(leaf).count();
+            if self.arena_refs[slot] > 1 && count >= 2 * min_leaf {
+                let (xs, ys) = (&self.xs, &self.ys);
+                gather.fill(
+                    dim,
+                    count,
+                    tree.leaf_points(leaf).map(|p| (xs.row(p), ys[p])),
+                );
             } else {
                 gather.clear();
             }
@@ -754,48 +733,6 @@ impl DynaTree {
 
         self.scratch = scratch;
     }
-}
-
-/// One fused forward scan of `(features, target)` records accumulating, for
-/// each of `K` split attempts, the left side's `(n, Σy, Σy²)` via 0/1
-/// masks. `K` is monomorphized so the three accumulator sets live in
-/// registers; the summation order is the scan order for every `K`, so the
-/// batched evaluation matches an attempt-at-a-time one bit for bit.
-fn scan_left<'s, const K: usize, I>(
-    scan: I,
-    dims: &[usize; ATTEMPT_BATCH],
-    thresholds: &[f64; ATTEMPT_BATCH],
-) -> (
-    [f64; ATTEMPT_BATCH],
-    [f64; ATTEMPT_BATCH],
-    [f64; ATTEMPT_BATCH],
-)
-where
-    I: Iterator<Item = (&'s [f64], f64)>,
-{
-    let mut local_dims = [0usize; K];
-    let mut local_thr = [0.0f64; K];
-    local_dims.copy_from_slice(&dims[..K]);
-    local_thr.copy_from_slice(&thresholds[..K]);
-    let mut n = [0.0f64; K];
-    let mut s = [0.0f64; K];
-    let mut q = [0.0f64; K];
-    for (row, y) in scan {
-        let y_sq = y * y;
-        for k in 0..K {
-            let mask = f64::from(row[local_dims[k]] <= local_thr[k]);
-            n[k] += mask;
-            s[k] += mask * y;
-            q[k] += mask * y_sq;
-        }
-    }
-    let mut n_out = [0.0f64; ATTEMPT_BATCH];
-    let mut s_out = [0.0f64; ATTEMPT_BATCH];
-    let mut q_out = [0.0f64; ATTEMPT_BATCH];
-    n_out[..K].copy_from_slice(&n);
-    s_out[..K].copy_from_slice(&s);
-    q_out[..K].copy_from_slice(&q);
-    (n_out, s_out, q_out)
 }
 
 /// Clones the arena in `src` into `dst` (disjoint slots of the same pool),
@@ -941,19 +878,27 @@ impl SurrogateModel for DynaTree {
                 // Accumulate over unique trees in first-seen particle order
                 // with multiplicity weights, exactly like `predict`, so
                 // results are bit-identical to the single-point method and
-                // independent of the thread count.
+                // independent of the thread count. Each tree is applied in
+                // two block-wide passes — resolve every candidate's leaf,
+                // then gather that leaf's moments — so the traversal loop
+                // carries no accumulator dependencies and the gather loop
+                // is a tight indexed sweep (same adds in the same order as
+                // a fused loop).
                 let mut mean_acc = vec![0.0f64; block.len()];
                 let mut second_moment = vec![0.0f64; block.len()];
+                let mut staged = QueryBlock::default();
+                staged.fill(block[0].len(), block);
+                let mut stack = Vec::new();
                 for &(slot, mult) in &groups {
                     let tree = &self.arenas[slot as usize];
                     let flat = tree.flat_nodes();
                     let moments = tree.leaf_moments();
                     let k = mult as f64;
-                    for (i, x) in block.iter().enumerate() {
-                        let m = &moments[find_leaf_flat(flat, x)];
+                    for_each_block_leaf(flat, &staged, &mut stack, |i, leaf| {
+                        let m = &moments[leaf as usize];
                         mean_acc[i] += k * m.mean;
                         second_moment[i] += k * (m.variance + m.mean * m.mean);
-                    }
+                    });
                 }
                 mean_acc
                     .iter()
@@ -1021,9 +966,13 @@ impl ActiveSurrogate for DynaTree {
                 let flat = tree.flat_nodes();
                 let moments = tree.leaf_moments();
                 let mut add = vec![0.0f64; flat.len()];
-                for r in reference {
-                    let leaf = find_leaf_flat(flat, r);
-                    add[leaf] += moments[leaf].variance;
+                let mut staged = QueryBlock::default();
+                let mut stack = Vec::new();
+                for chunk in reference.chunks(SCORE_BLOCK) {
+                    staged.fill(chunk[0].len(), chunk);
+                    for_each_block_leaf(flat, &staged, &mut stack, |_, leaf| {
+                        add[leaf as usize] += moments[leaf as usize].variance;
+                    });
                 }
                 for (leaf, affected) in add.iter_mut().enumerate() {
                     if *affected > 0.0 {
@@ -1039,12 +988,17 @@ impl ActiveSurrogate for DynaTree {
             .map(|b| {
                 let lo = b * SCORE_BLOCK;
                 let block = &candidates[lo..(lo + SCORE_BLOCK).min(candidates.len())];
+                // Two block-wide passes per tree, like `predict_batch`:
+                // traverse, then gather from the contribution table.
                 let mut totals = vec![0.0f64; block.len()];
+                let mut staged = QueryBlock::default();
+                staged.fill(block[0].len(), block);
+                let mut stack = Vec::new();
                 for (slot, k, add) in &tables {
                     let flat = self.arenas[*slot as usize].flat_nodes();
-                    for (total, candidate) in totals.iter_mut().zip(block) {
-                        *total += k * add[find_leaf_flat(flat, candidate)];
-                    }
+                    for_each_block_leaf(flat, &staged, &mut stack, |i, leaf| {
+                        totals[i] += k * add[leaf as usize];
+                    });
                 }
                 totals.iter().map(|t| t / denominator).collect()
             })

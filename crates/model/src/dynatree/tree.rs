@@ -103,6 +103,156 @@ pub fn find_leaf_flat(nodes: &[FlatNode], x: &[f64]) -> usize {
     }
 }
 
+/// Width of a scoring traversal block: one u64 reach word.
+pub const TRAVERSE_BLOCK: usize = 64;
+
+/// Reach-mask density at which the partition compare switches from the
+/// set-bit walk to one full-width SIMD mask build over the 64-lane column.
+const DENSE_REACH: u32 = 32;
+
+/// Column-major staging of up to [`TRAVERSE_BLOCK`] query rows, reused
+/// across every tree a scoring pass pushes the block through. Lanes past
+/// `len` are zero-padded; their comparison bits are garbage that the reach
+/// masks never select.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBlock {
+    /// `cols[d * TRAVERSE_BLOCK + i]` is dimension `d` of query `i`.
+    cols: Vec<f64>,
+    len: usize,
+}
+
+impl QueryBlock {
+    /// Refills the staging from `rows` (at most [`TRAVERSE_BLOCK`] of them),
+    /// keeping the allocation.
+    pub fn fill(&mut self, dim: usize, rows: &[&[f64]]) {
+        assert!(rows.len() <= TRAVERSE_BLOCK, "a block is at most one word");
+        self.len = rows.len();
+        self.cols.clear();
+        self.cols.resize(dim * TRAVERSE_BLOCK, 0.0);
+        for (i, row) in rows.iter().enumerate() {
+            for d in 0..dim {
+                self.cols[d * TRAVERSE_BLOCK + i] = row[d];
+            }
+        }
+    }
+
+    /// Number of staged queries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the staging is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The 64-lane column of `dimension`.
+    fn column(&self, dimension: usize) -> &[f64] {
+        &self.cols[dimension * TRAVERSE_BLOCK..(dimension + 1) * TRAVERSE_BLOCK]
+    }
+
+    /// Reach word with one bit per staged query.
+    fn full_mask(&self) -> u64 {
+        match self.len {
+            64 => u64::MAX,
+            n => (1u64 << n) - 1,
+        }
+    }
+}
+
+/// Resolves the leaves of a staged query block in **one walk of the tree**,
+/// invoking `on_leaf(lane, leaf_node)` once per query.
+///
+/// [`find_leaf_flat`] walks one query at a time — per level a dependent node
+/// load plus a data-dependent split branch, re-reading every node once per
+/// query that crosses it. This kernel inverts the loop: a depth-first walk
+/// of the tree carries a u64 **reach word** (bit `i` = "query `i` reaches
+/// this node"), splits it at each internal node with the node's comparison
+/// mask, and descends only into subtrees whose reach word is non-zero. Each
+/// node is read once per *block* instead of once per query, the compare over
+/// a node's survivors is a branch-free mask build (full-width SIMD when the
+/// reach word is dense, a set-bit walk when sparse), and leaf assignment is
+/// a `trailing_zeros` sweep of the final reach words. Callers fuse their
+/// per-query gather into `on_leaf` instead of staging leaf indices.
+///
+/// Every query undergoes exactly the comparisons its serial traversal would
+/// (those of the nodes on its root-to-leaf path, against the same
+/// thresholds), so the resolved leaves are identical to per-query
+/// [`find_leaf_flat`] calls. Lanes sharing a leaf are reported in ascending
+/// lane order; across leaves the order follows the walk, which only matters
+/// to sinks that accumulate across lanes (none do — every caller keeps
+/// per-lane accumulators).
+///
+/// `stack` is reusable scratch for the DFS; it is cleared on entry.
+pub fn for_each_block_leaf(
+    nodes: &[FlatNode],
+    block: &QueryBlock,
+    stack: &mut Vec<(u32, u64)>,
+    mut on_leaf: impl FnMut(usize, u32),
+) {
+    if block.is_empty() {
+        return;
+    }
+    stack.clear();
+    stack.push((0, block.full_mask()));
+    while let Some((index, reach)) = stack.pop() {
+        let node = nodes[index as usize];
+        if node.dimension == FLAT_LEAF {
+            let mut bits = reach;
+            while bits != 0 {
+                on_leaf(bits.trailing_zeros() as usize, index);
+                bits &= bits - 1;
+            }
+            continue;
+        }
+        let column = block.column(node.dimension as usize);
+        let compare = if reach.count_ones() >= DENSE_REACH {
+            full_compare_mask(column, node.threshold)
+        } else {
+            let mut word = 0u64;
+            let mut bits = reach;
+            while bits != 0 {
+                let i = bits.trailing_zeros();
+                word |= u64::from(column[i as usize] <= node.threshold) << i;
+                bits &= bits - 1;
+            }
+            word
+        };
+        let left = reach & compare;
+        let right = reach & !compare;
+        if right != 0 {
+            stack.push((node.right, right));
+        }
+        if left != 0 {
+            stack.push((node.left, left));
+        }
+    }
+}
+
+/// [`for_each_block_leaf`] writing the leaf index of query `i` to
+/// `leaf_of[i]` — for callers that want the assignments themselves rather
+/// than a fused gather.
+pub fn find_leaves_flat_block(
+    nodes: &[FlatNode],
+    block: &QueryBlock,
+    leaf_of: &mut [u32],
+    stack: &mut Vec<(u32, u64)>,
+) {
+    debug_assert!(leaf_of.len() >= block.len());
+    for_each_block_leaf(nodes, block, stack, |lane, leaf| leaf_of[lane] = leaf);
+}
+
+/// `<= threshold` mask over one full 64-lane column (SIMD-built on x86-64).
+#[inline]
+fn full_compare_mask(column: &[f64], threshold: f64) -> u64 {
+    let mut word = [0u64; 1];
+    #[cfg(target_arch = "x86_64")]
+    alic_stats::bitset::fill_mask_le_simd_into(column, threshold, &mut word);
+    #[cfg(not(target_arch = "x86_64"))]
+    alic_stats::bitset::fill_mask_le_into(column, threshold, &mut word);
+    word[0]
+}
+
 std::thread_local! {
     /// Per-thread target buffers for the grow move's two-pass child
     /// statistics.
@@ -1178,5 +1328,51 @@ mod tests {
         target.clone_from(&tree);
         assert_eq!(target, tree.clone());
         target.validate_caches(&xs, &ctx).unwrap();
+    }
+
+    #[test]
+    fn block_traversal_matches_serial_traversal() {
+        let (prior, table) = ctx_parts();
+        let ctx = MomentCtx {
+            prior: &prior,
+            table: &table,
+        };
+        let (xs, ys) = line_data(64);
+        let mut tree = root(64, &xs, &ys, &ctx);
+        // Grow an unbalanced three-level tree so lanes finish at different
+        // depths (the interesting case for the pending-word bookkeeping).
+        for (leaf, threshold) in [(0usize, 0.5), (1, 0.25), (3, 0.125)] {
+            tree.grow(
+                leaf,
+                Split {
+                    dimension: 0,
+                    threshold,
+                },
+                &xs,
+                &ys,
+                1,
+                &ctx,
+            );
+        }
+        let queries: Vec<Vec<f64>> = (0..130).map(|i| vec![i as f64 / 129.0]).collect();
+        let views: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+        let flat = tree.flat_nodes();
+        // Cover partial, full and odd-sized blocks, including size 64 (both
+        // the sparse set-bit compare and the dense full-width mask build).
+        for chunk in [1usize, 3, 63, 64].iter().flat_map(|&s| views.chunks(s)) {
+            let mut leaf_of = [0u32; 64];
+            let mut staged = QueryBlock::default();
+            staged.fill(1, chunk);
+            let mut stack = Vec::new();
+            find_leaves_flat_block(flat, &staged, &mut leaf_of, &mut stack);
+            for (i, q) in chunk.iter().enumerate() {
+                assert_eq!(
+                    leaf_of[i] as usize,
+                    find_leaf_flat(flat, q),
+                    "query {q:?} in a {}-row block",
+                    chunk.len()
+                );
+            }
+        }
     }
 }

@@ -54,10 +54,12 @@ pub mod dynatree;
 pub mod gp;
 pub mod knn;
 pub mod leaf;
+pub mod sgp;
 pub mod spec;
 pub mod traits;
 
 pub use dynatree::{DynaTree, DynaTreeConfig};
+pub use sgp::{SparseGaussianProcess, SparseGpConfig};
 pub use spec::SurrogateSpec;
 pub use traits::{ActiveSurrogate, Prediction, SurrogateModel};
 

@@ -1,0 +1,252 @@
+//! u64 bitset masks over contiguous `f64` columns.
+//!
+//! The dynamic tree's split-proposal scan asks, for a batch of candidate
+//! thresholds, "what are the count, sum and sum of squares of the responses
+//! whose feature value falls at or below the threshold?". This module turns
+//! that question into word-at-a-time machine operations:
+//!
+//! 1. [`fill_mask_le`] compares one contiguous feature column against a
+//!    threshold and packs the results into u64 mask words (bit `i % 64` of
+//!    word `i / 64` is the membership of point `i`),
+//! 2. [`count_ones`] reduces the mask to the left-child count with the
+//!    `popcnt` instruction, and
+//! 3. [`masked_sum_and_sum_sq`] walks the set bits **in ascending index
+//!    order** to accumulate `Σy` and `Σy²` over the left child.
+//!
+//! # Bit-identity contract
+//!
+//! The reference scalar scan accumulates `acc += mask * y` with
+//! `mask ∈ {0.0, 1.0}` for every point in column order. The set-bit walk
+//! skips the `mask == 0.0` terms instead of adding `±0.0`, and that skip is
+//! *exact*: the accumulator starts at `+0.0` and can never become `-0.0`
+//! (in round-to-nearest, `x + (-x) == +0.0` and adding `±0.0` to any other
+//! value leaves it unchanged), so eliding a `+(±0.0)` step never changes the
+//! stored bits. Counts are exact integers below 2⁵³ either way. The SIMD
+//! mask builder performs the same IEEE `<=` comparisons two lanes at a time,
+//! so all three paths produce bit-identical `(count, Σy, Σy²)` triples — the
+//! property `tests/scan_identity.rs` pins down.
+//!
+//! Anything that would reassociate the sums (blocked partial sums, sorted
+//! prefix sums) is deliberately absent: it would be faster but not
+//! bit-identical, and the workspace's determinism contract wins.
+
+/// Number of points packed into one mask word.
+pub const WORD_BITS: usize = 64;
+
+/// Packs the `value <= threshold` membership of a contiguous column into
+/// mask words: bit `i % 64` of `words[i / 64]` is set iff
+/// `values[i] <= threshold`. Trailing bits of the last word are zero.
+///
+/// `words` is cleared and refilled, keeping its allocation.
+///
+/// # Examples
+///
+/// ```
+/// let mut words = Vec::new();
+/// alic_stats::bitset::fill_mask_le(&[0.5, 2.0, 1.0], 1.0, &mut words);
+/// assert_eq!(words, vec![0b101]);
+/// ```
+pub fn fill_mask_le(values: &[f64], threshold: f64, words: &mut Vec<u64>) {
+    words.clear();
+    words.resize(values.len().div_ceil(WORD_BITS), 0);
+    fill_mask_le_into(values, threshold, words);
+}
+
+/// [`fill_mask_le`] writing into a pre-sized word slice (callers packing
+/// several mask strips into one buffer).
+///
+/// # Panics
+///
+/// Panics if `words.len() != values.len().div_ceil(64)`.
+pub fn fill_mask_le_into(values: &[f64], threshold: f64, words: &mut [u64]) {
+    assert_eq!(words.len(), values.len().div_ceil(WORD_BITS));
+    let mut chunks = values.chunks_exact(WORD_BITS);
+    let mut out = words.iter_mut();
+    for chunk in chunks.by_ref() {
+        let mut word = 0u64;
+        for (bit, &value) in chunk.iter().enumerate() {
+            word |= u64::from(value <= threshold) << bit;
+        }
+        *out.next().expect("words sized to values") = word;
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut word = 0u64;
+        for (bit, &value) in tail.iter().enumerate() {
+            word |= u64::from(value <= threshold) << bit;
+        }
+        *out.next().expect("words sized to values") = word;
+    }
+}
+
+/// [`fill_mask_le`] with the comparisons done two lanes at a time via SSE2
+/// packed compares (`cmplepd` + `movmskpd`). SSE2 is part of the x86-64
+/// baseline, so no runtime feature detection is needed.
+///
+/// The packed compare is the same IEEE `<=` as the scalar operator, so the
+/// produced words are identical to [`fill_mask_le`]'s.
+#[cfg(target_arch = "x86_64")]
+pub fn fill_mask_le_simd(values: &[f64], threshold: f64, words: &mut Vec<u64>) {
+    words.clear();
+    words.resize(values.len().div_ceil(WORD_BITS), 0);
+    fill_mask_le_simd_into(values, threshold, words);
+}
+
+/// [`fill_mask_le_simd`] writing into a pre-sized word slice.
+///
+/// # Panics
+///
+/// Panics if `words.len() != values.len().div_ceil(64)`.
+#[cfg(target_arch = "x86_64")]
+pub fn fill_mask_le_simd_into(values: &[f64], threshold: f64, words: &mut [u64]) {
+    use core::arch::x86_64::{_mm_cmple_pd, _mm_loadu_pd, _mm_movemask_pd, _mm_set1_pd};
+
+    assert_eq!(words.len(), values.len().div_ceil(WORD_BITS));
+    // SAFETY: SSE2 is unconditionally available on x86_64, and every
+    // `_mm_loadu_pd` reads two f64s that `chunks_exact` guarantees in
+    // bounds; `loadu` has no alignment requirement.
+    unsafe {
+        let wide_threshold = _mm_set1_pd(threshold);
+        let mut chunks = values.chunks_exact(WORD_BITS);
+        let mut out = words.iter_mut();
+        for chunk in chunks.by_ref() {
+            let mut word = 0u64;
+            let mut bit = 0;
+            while bit < WORD_BITS {
+                let lanes = _mm_loadu_pd(chunk.as_ptr().add(bit));
+                let mask = _mm_movemask_pd(_mm_cmple_pd(lanes, wide_threshold)) as u64;
+                word |= mask << bit;
+                bit += 2;
+            }
+            *out.next().expect("words sized to values") = word;
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = 0u64;
+            let mut bit = 0;
+            while bit + 2 <= tail.len() {
+                let lanes = _mm_loadu_pd(tail.as_ptr().add(bit));
+                let mask = _mm_movemask_pd(_mm_cmple_pd(lanes, wide_threshold)) as u64;
+                word |= mask << bit;
+                bit += 2;
+            }
+            if bit < tail.len() {
+                word |= u64::from(tail[bit] <= threshold) << bit;
+            }
+            *out.next().expect("words sized to values") = word;
+        }
+    }
+}
+
+/// Total number of set bits across the mask words (the left-child count).
+#[inline]
+pub fn count_ones(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// `(Σ values[i], Σ values[i]²)` over the set bits of the mask, accumulated
+/// in ascending index order (see the module-level bit-identity contract).
+///
+/// # Panics
+///
+/// Panics in debug builds when a set bit indexes past `values`.
+#[inline]
+pub fn masked_sum_and_sum_sq(words: &[u64], values: &[f64]) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for (word_index, &word) in words.iter().enumerate() {
+        let base = word_index * WORD_BITS;
+        let mut bits = word;
+        while bits != 0 {
+            let value = values[base + bits.trailing_zeros() as usize];
+            sum += value;
+            sum_sq += value * value;
+            bits &= bits - 1;
+        }
+    }
+    (sum, sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_mask(values: &[f64], threshold: f64) -> Vec<u64> {
+        let mut words = vec![0u64; values.len().div_ceil(WORD_BITS)];
+        for (i, &v) in values.iter().enumerate() {
+            if v <= threshold {
+                words[i / WORD_BITS] |= 1 << (i % WORD_BITS);
+            }
+        }
+        words
+    }
+
+    fn column(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 37 + 11) % 101) as f64 / 17.0 - 2.5)
+            .collect()
+    }
+
+    #[test]
+    fn mask_matches_reference_across_lengths() {
+        for n in [0, 1, 2, 63, 64, 65, 127, 128, 200] {
+            let values = column(n);
+            let threshold = 0.4;
+            let mut words = Vec::new();
+            fill_mask_le(&values, threshold, &mut words);
+            assert_eq!(words, reference_mask(&values, threshold), "n={n}");
+            assert_eq!(
+                count_ones(&words),
+                values.iter().filter(|v| **v <= threshold).count(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn simd_mask_is_identical_to_scalar() {
+        for n in [0, 1, 2, 3, 63, 64, 65, 66, 127, 128, 200] {
+            let values = column(n);
+            for threshold in [-3.0, -0.1, 0.4, 2.9, 10.0] {
+                let mut scalar = Vec::new();
+                let mut simd = Vec::new();
+                fill_mask_le(&values, threshold, &mut scalar);
+                fill_mask_le_simd(&values, threshold, &mut simd);
+                assert_eq!(scalar, simd, "n={n} threshold={threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_sums_are_bit_identical_to_mask_multiply() {
+        for n in [1, 5, 64, 65, 130] {
+            let xs = column(n);
+            let ys: Vec<f64> = (0..n)
+                .map(|i| ((i * 29 + 3) % 53) as f64 / 7.0 - 3.0)
+                .collect();
+            let threshold = 0.7;
+            let mut words = Vec::new();
+            fill_mask_le(&xs, threshold, &mut words);
+            let (sum, sum_sq) = masked_sum_and_sum_sq(&words, &ys);
+            let (mut ref_sum, mut ref_sum_sq) = (0.0f64, 0.0f64);
+            for i in 0..n {
+                let mask = f64::from(xs[i] <= threshold);
+                ref_sum += mask * ys[i];
+                ref_sum_sq += mask * (ys[i] * ys[i]);
+            }
+            assert_eq!(sum.to_bits(), ref_sum.to_bits(), "n={n}");
+            assert_eq!(sum_sq.to_bits(), ref_sum_sq.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn refilling_reuses_the_buffer() {
+        let mut words = Vec::new();
+        fill_mask_le(&column(130), 0.0, &mut words);
+        assert_eq!(words.len(), 3);
+        fill_mask_le(&column(10), 100.0, &mut words);
+        assert_eq!(words.len(), 1);
+        assert_eq!(count_ones(&words), 10);
+    }
+}

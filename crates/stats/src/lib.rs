@@ -13,7 +13,9 @@
 //! * [`features`] — flat row-major feature storage with zero-copy row views,
 //!   the backing store of the batch scoring pipeline,
 //! * [`matrix`] / [`cholesky`] — a small dense linear-algebra kernel used by
-//!   the Gaussian-process comparison model,
+//!   the Gaussian-process comparison models,
+//! * [`bitset`] — u64 mask words over contiguous columns (popcount counts,
+//!   in-order masked sums), the substrate of the dynamic tree's split scan,
 //! * [`sampling`] — random subset selection used for candidate sets,
 //! * [`rng`] — deterministic, seedable random-number-generator helpers.
 //!
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bitset;
 pub mod cholesky;
 pub mod ci;
 pub mod error;

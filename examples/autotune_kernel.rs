@@ -5,22 +5,54 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example autotune_kernel [kernel]
+//! cargo run --release --example autotune_kernel [kernel] [--model FAMILY]
 //! ```
 //!
-//! where `kernel` is one of the 11 SPAPT names (default: `mm`).
+//! where `kernel` is one of the 11 SPAPT names (default: `mm`) and `FAMILY`
+//! is any surrogate family name accepted by `SurrogateSpec::from_name`
+//! (`dynatree`, `cart`, `gp`, `sgp`, `knn`, `mean`; default `dynatree`).
+//! The `ALIC_MODEL` environment variable sets the family too, with the
+//! `--model` flag taking precedence — the same override the experiment
+//! binaries honour.
 
 use alic::core::prelude::*;
 use alic::data::dataset::{Dataset, DatasetConfig};
-use alic::model::dynatree::{DynaTree, DynaTreeConfig};
-use alic::model::SurrogateModel;
+use alic::model::SurrogateSpec;
 use alic::sim::profiler::{Profiler, SimulatedProfiler};
 use alic::sim::spapt::{spapt_kernel, SpaptKernel};
 use alic::stats::rng::seeded_rng;
 
 fn main() -> Result<(), CoreError> {
-    let kernel_name = std::env::args().nth(1).unwrap_or_else(|| "mm".to_string());
-    let kernel = SpaptKernel::from_name(&kernel_name).unwrap_or(SpaptKernel::Mm);
+    let mut kernel_name: Option<String> = None;
+    let mut model_name = std::env::var("ALIC_MODEL").ok();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--model" {
+            model_name = args.next();
+        } else if kernel_name.is_none() {
+            kernel_name = Some(arg);
+        }
+    }
+    let kernel = kernel_name
+        .as_deref()
+        .and_then(SpaptKernel::from_name)
+        .unwrap_or(SpaptKernel::Mm);
+    let spec = match model_name.as_deref() {
+        None => SurrogateSpec::dynatree(80),
+        Some(name) => match SurrogateSpec::from_name(name) {
+            // The example's profiling budget suits a mid-sized ensemble.
+            Some(SurrogateSpec::DynaTree(_)) => SurrogateSpec::dynatree(80),
+            Some(other) => other,
+            None => {
+                eprintln!(
+                    "unknown model family {name:?}; valid names: {}",
+                    SurrogateSpec::names().join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    let model_spec = spec;
     let spec = spapt_kernel(kernel);
     println!(
         "autotuning {} over {:.2e} configurations",
@@ -48,12 +80,8 @@ fn main() -> Result<(), CoreError> {
         plan: SamplingPlan::sequential(8),
         ..Default::default()
     };
-    let mut model = DynaTree::new(DynaTreeConfig {
-        particles: 80,
-        seed: 7,
-        ..Default::default()
-    });
-    let run = ActiveLearner::new(config, &mut profiler).run(&mut model, &dataset, &split)?;
+    let mut model = model_spec.build(7);
+    let run = ActiveLearner::new(config, &mut profiler).run(model.as_mut(), &dataset, &split)?;
     println!(
         "model trained: RMSE {:.4} s after {:.1} s of profiling ({} runs)",
         run.curve.final_rmse().unwrap_or(f64::NAN),

@@ -1,6 +1,6 @@
 //! Golden-snapshot regression suite for the experiment pipeline.
 //!
-//! For two kernels × all five [`SurrogateSpec`] families, a smoke-scale
+//! For two kernels × all six [`SurrogateSpec`] families, a smoke-scale
 //! `compare_plans` outcome is serialized to canonical JSON and diffed
 //! against the snapshots committed under `tests/golden/`. Any behavioural
 //! change anywhere in the stack — simulator, dataset generation, learner,
@@ -32,10 +32,10 @@ use alic::sim::spapt::{spapt_kernel, SpaptKernel};
 
 const GOLDEN_KERNELS: [SpaptKernel; 2] = [SpaptKernel::Mvt, SpaptKernel::Gemver];
 
-/// The five model families at smoke-friendly hyper-parameters (the dynamic
+/// The six model families at smoke-friendly hyper-parameters (the dynamic
 /// tree is shrunk so the whole suite stays fast in debug builds; the other
 /// families are scale-independent defaults).
-fn golden_models() -> [SurrogateSpec; 5] {
+fn golden_models() -> [SurrogateSpec; 6] {
     let mut models = SurrogateSpec::all();
     models[0] = SurrogateSpec::dynatree(30);
     models

@@ -1,0 +1,110 @@
+//! Sparse-GP → dense-GP convergence as the inducing set grows.
+//!
+//! The DTC approximation is exact at `m = n`: with the inducing set equal to
+//! the training inputs, the push-through identity collapses its predictive
+//! mean *and* variance onto the dense GP posterior. The only remaining
+//! differences are the two models' independent diagonal jitters (≈`1e-8`
+//! relative), so the `m = n` comparison uses a tolerance of `1e-3` — far
+//! above the jitter, far below any real approximation error. Smaller
+//! inducing sets must degrade gracefully toward that limit.
+
+use alic::model::gp::{GaussianProcess, GpConfig};
+use alic::model::row_views;
+use alic::model::sgp::{SparseGaussianProcess, SparseGpConfig};
+use alic::model::SurrogateModel;
+
+/// A wiggly 1-D target: hard enough that a 10-point inducing basis visibly
+/// underfits, so the convergence trend is meaningful.
+fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (9.0 * x[0]).sin() + 0.4 * (23.0 * x[0]).cos())
+        .collect();
+    (xs, ys)
+}
+
+/// Shared, fixed hyper-parameters, so the comparison isolates the low-rank
+/// approximation instead of mixing in heuristic differences.
+const LENGTHSCALE: f64 = 0.08;
+const SIGNAL_VARIANCE: f64 = 1.2;
+const NOISE_VARIANCE: f64 = 1e-4;
+
+fn dense(xs: &[&[f64]], ys: &[f64]) -> GaussianProcess {
+    let mut gp = GaussianProcess::new(GpConfig {
+        lengthscale: Some(LENGTHSCALE),
+        signal_variance: Some(SIGNAL_VARIANCE),
+        noise_variance: NOISE_VARIANCE,
+    });
+    gp.fit(xs, ys).unwrap();
+    gp
+}
+
+fn sparse(xs: &[&[f64]], ys: &[f64], inducing: usize) -> SparseGaussianProcess {
+    let mut sgp = SparseGaussianProcess::new(SparseGpConfig {
+        inducing,
+        lengthscale: Some(LENGTHSCALE),
+        signal_variance: Some(SIGNAL_VARIANCE),
+        noise_variance: NOISE_VARIANCE,
+    });
+    sgp.fit(xs, ys).unwrap();
+    sgp
+}
+
+/// Worst-case predictive (mean, variance) disagreement over a dense grid.
+fn max_divergence(gp: &GaussianProcess, sgp: &SparseGaussianProcess) -> (f64, f64) {
+    let mut worst_mean = 0.0f64;
+    let mut worst_var = 0.0f64;
+    for i in 0..200 {
+        let q = [i as f64 / 199.0];
+        let d = gp.predict(&q).unwrap();
+        let s = sgp.predict(&q).unwrap();
+        worst_mean = worst_mean.max((d.mean - s.mean).abs());
+        worst_var = worst_var.max((d.variance - s.variance).abs());
+    }
+    (worst_mean, worst_var)
+}
+
+#[test]
+fn full_inducing_set_reproduces_the_dense_posterior() {
+    let (xs, ys) = training_data(50);
+    let views = row_views(&xs);
+    let gp = dense(&views, &ys);
+    let sgp = sparse(&views, &ys, 50);
+    assert_eq!(sgp.inducing_count(), 50);
+    let (mean_err, var_err) = max_divergence(&gp, &sgp);
+    assert!(mean_err < 1e-3, "m = n mean divergence {mean_err}");
+    assert!(var_err < 1e-3, "m = n variance divergence {var_err}");
+}
+
+#[test]
+fn divergence_shrinks_as_the_inducing_set_grows() {
+    let (xs, ys) = training_data(50);
+    let views = row_views(&xs);
+    let gp = dense(&views, &ys);
+    let coarse = max_divergence(&gp, &sparse(&views, &ys, 10)).0;
+    let fine = max_divergence(&gp, &sparse(&views, &ys, 50)).0;
+    // The coarse basis must visibly underfit this target (otherwise the
+    // comparison proves nothing), and the full basis must beat it by orders
+    // of magnitude.
+    assert!(coarse > 1e-2, "10 inducing points underfit: {coarse}");
+    assert!(fine < coarse / 10.0, "coarse {coarse} vs fine {fine}");
+}
+
+#[test]
+fn updates_preserve_the_m_equals_n_correspondence_approximately() {
+    // After a fit at m = n, incremental updates keep the inducing basis
+    // frozen while the dense GP effectively grows its basis — the models
+    // stay close (the new points lie inside the basis's span) but not
+    // identical. This pins the update path against gross drift.
+    let (xs, ys) = training_data(50);
+    let views = row_views(&xs);
+    let mut gp = dense(&views[..40], &ys[..40]);
+    let mut sgp = sparse(&views[..40], &ys[..40], 40);
+    for (x, &y) in xs[40..].iter().zip(&ys[40..]) {
+        gp.update(x, y).unwrap();
+        sgp.update(x, y).unwrap();
+    }
+    let (mean_err, _) = max_divergence(&gp, &sgp);
+    assert!(mean_err < 0.1, "post-update mean divergence {mean_err}");
+}
