@@ -248,7 +248,21 @@ pub fn assemble_outcome(
         .iter()
         .map(|&plan| (plan, runs_iter.by_ref().take(config.repetitions).collect()))
         .collect();
+    assemble_outcome_grouped(kernel, config, plan_runs)
+}
 
+/// [`assemble_outcome`] for runs already grouped per plan, possibly with
+/// *fewer* than `config.repetitions` runs in a group. This is the partial-cell
+/// path of the resilient campaign merge
+/// ([`assemble_report_with_failures`](crate::runner::assemble_report_with_failures)):
+/// when a work unit failed every healing pass, its cell is still assembled
+/// from the surviving repetitions. For full groups the result is identical to
+/// [`assemble_outcome`] (which delegates here).
+pub fn assemble_outcome_grouped(
+    kernel: &str,
+    config: &ComparisonConfig,
+    plan_runs: Vec<(SamplingPlan, Vec<LearnerRun>)>,
+) -> ComparisonOutcome {
     // Average every plan's curves on the cost range where all plans overlap.
     let curve_sets: Vec<Vec<LearningCurve>> = plan_runs
         .iter()

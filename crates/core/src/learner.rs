@@ -28,7 +28,8 @@ use serde::{Deserialize, Serialize};
 use alic_data::dataset::Dataset;
 use alic_data::split::TrainTestSplit;
 use alic_model::ActiveSurrogate;
-use alic_sim::profiler::Profiler;
+use alic_sim::profiler::{Measurement, Profiler};
+use alic_sim::Configuration;
 use alic_stats::error::rmse;
 use alic_stats::rng::{seeded_stream, Rng as StatsRng};
 use alic_stats::summary::OnlineStats;
@@ -126,6 +127,39 @@ impl LearnerRun {
     }
 }
 
+/// Bounded re-measure attempts after a non-finite measurement. A flaky
+/// evaluator that recovers within this budget leaves no trace beyond the
+/// ledger's quarantine counter; one that doesn't costs the learner the
+/// observation (see [`measure_finite`]).
+pub const OBSERVATION_RETRIES: usize = 2;
+
+/// Takes one *finite* measurement, retrying up to [`OBSERVATION_RETRIES`]
+/// times when the profiler returns a NaN or infinite runtime/compile time.
+///
+/// This is the learner's half of the uniform non-finite policy (the models'
+/// half is `alic_model::validate_observation`): a broken measurement is never
+/// recorded in the cost ledger — its cost is unknowable — and never reaches
+/// a model or the learning curve. A glitch that heals within the retry
+/// budget leaves *no* trace in the run at all (the report must stay
+/// byte-identical to a fault-free run's); only when every attempt is
+/// non-finite is the observation abandoned, counted in the ledger's
+/// [`quarantined`](CostLedger::quarantined) counter, and `None` returned.
+fn measure_finite<P: Profiler>(
+    profiler: &mut P,
+    configuration: &Configuration,
+    ledger: &mut CostLedger,
+) -> Option<Measurement> {
+    for _ in 0..=OBSERVATION_RETRIES {
+        let m = profiler.measure(configuration);
+        if m.runtime.is_finite() && m.compile_time.is_finite() {
+            ledger.record(&m);
+            return Some(m);
+        }
+    }
+    ledger.record_quarantined();
+    None
+}
+
 /// The active learner: couples a profiler with the loop of Algorithm 1.
 #[derive(Debug)]
 pub struct ActiveLearner<'a, P: Profiler> {
@@ -217,9 +251,17 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
             let configuration = &dataset.points()[dataset_index].configuration;
             let mut stats = OnlineStats::new();
             for _ in 0..config.initial_observations.max(1) {
-                let m = self.profiler.measure(configuration);
-                ledger.record(&m);
-                stats.push(m.runtime);
+                if let Some(m) = measure_finite(self.profiler, configuration, &mut ledger) {
+                    stats.push(m.runtime);
+                }
+            }
+            if stats.count() == 0 {
+                // Without a single finite observation the seed example has no
+                // target at all; the model cannot be fitted honestly.
+                return Err(CoreError::Evaluator(format!(
+                    "seed example {dataset_index} produced no finite measurement in {} attempts",
+                    config.initial_observations.max(1) * (OBSERVATION_RETRIES + 1)
+                )));
             }
             seed_ys.push(stats.mean());
             visited_positions.insert(pos, visited.len());
@@ -305,14 +347,19 @@ impl<'a, P: Profiler> ActiveLearner<'a, P> {
             let observations = config.plan.observations_per_visit();
             let mut batch = OnlineStats::new();
             for _ in 0..observations {
-                let m = self.profiler.measure(configuration);
-                ledger.record(&m);
-                batch.push(m.runtime);
+                if let Some(m) = measure_finite(self.profiler, configuration, &mut ledger) {
+                    batch.push(m.runtime);
+                }
             }
             // Fixed plans feed the mean of the batch; the sequential plan
-            // feeds the single raw observation.
-            let y = batch.mean();
-            model.update(features, y)?;
+            // feeds the single raw observation. A batch that lost *every*
+            // measurement to quarantine (ledger counts them) has no target:
+            // the model is left untouched, but the bookkeeping below still
+            // runs so the visit is not re-selected forever.
+            if batch.count() > 0 {
+                let y = batch.mean();
+                model.update(features, y)?;
+            }
 
             // Bookkeeping (lines 23-28).
             if first_visit {
@@ -575,6 +622,133 @@ mod tests {
         assert!(matches!(
             learner.run(&mut model, &dataset, &split),
             Err(CoreError::InsufficientData { .. })
+        ));
+    }
+
+    /// Wraps a profiler and corrupts deterministic calls to NaN. `period`
+    /// faults replay the true measurement on the retry (a transient glitch,
+    /// like `alic_core::fault::ChaosProfiler`); calls inside `nan_window`
+    /// are NaN unconditionally (a persistently broken evaluator).
+    struct FlakyProfiler {
+        inner: SimulatedProfiler,
+        pending: Option<Measurement>,
+        period: usize,
+        nan_window: std::ops::Range<usize>,
+        calls: usize,
+    }
+
+    impl FlakyProfiler {
+        fn transient(inner: SimulatedProfiler, period: usize) -> Self {
+            FlakyProfiler {
+                inner,
+                pending: None,
+                period,
+                nan_window: 0..0,
+                calls: 0,
+            }
+        }
+
+        fn broken_during(inner: SimulatedProfiler, nan_window: std::ops::Range<usize>) -> Self {
+            FlakyProfiler {
+                inner,
+                pending: None,
+                period: usize::MAX,
+                nan_window,
+                calls: 0,
+            }
+        }
+    }
+
+    impl Profiler for FlakyProfiler {
+        fn space(&self) -> &alic_sim::ParameterSpace {
+            self.inner.space()
+        }
+
+        fn kernel_name(&self) -> &str {
+            self.inner.kernel_name()
+        }
+
+        fn measure(&mut self, config: &Configuration) -> Measurement {
+            self.calls += 1;
+            if self.nan_window.contains(&(self.calls - 1)) {
+                return Measurement {
+                    runtime: f64::NAN,
+                    compile_time: 0.0,
+                    compiled: false,
+                };
+            }
+            if let Some(m) = self.pending.take() {
+                return m;
+            }
+            let m = self.inner.measure(config);
+            if self.calls.is_multiple_of(self.period) {
+                self.pending = Some(m);
+                return Measurement {
+                    runtime: f64::NAN,
+                    ..m
+                };
+            }
+            m
+        }
+
+        fn true_mean(&self, config: &Configuration) -> f64 {
+            self.inner.true_mean(config)
+        }
+    }
+
+    #[test]
+    fn transient_nan_measurements_heal_to_an_identical_run() {
+        let (mut clean, dataset, split) = toy_setup(NoiseProfile::moderate());
+        let config = small_config(SamplingPlan::sequential(5));
+        let mut learner = ActiveLearner::new(config, &mut clean);
+        let mut model = small_model(1);
+        let baseline = learner.run(&mut model, &dataset, &split).unwrap();
+
+        // Same inner profiler, but every 7th measurement comes back NaN once
+        // and the retry replays the true value: the retry policy must absorb
+        // the glitches without leaving ANY trace — the healed run is equal
+        // to the clean one, quarantine counter included.
+        let mut flaky = FlakyProfiler::transient(toy_profiler(NoiseProfile::moderate(), 11), 7);
+        let mut learner = ActiveLearner::new(config, &mut flaky);
+        let mut model = small_model(1);
+        let healed = learner.run(&mut model, &dataset, &split).unwrap();
+
+        assert!(flaky.calls > 60, "the fault path must actually have fired");
+        assert_eq!(healed, baseline);
+        assert_eq!(healed.ledger.quarantined(), 0);
+    }
+
+    #[test]
+    fn exhausted_observation_retries_lose_the_observation_not_the_run() {
+        let (_, dataset, split) = toy_setup(NoiseProfile::moderate());
+        let config = small_config(SamplingPlan::sequential(5));
+        // Three consecutive NaN calls well after seeding: one observation's
+        // full retry budget (1 + OBSERVATION_RETRIES) is exhausted and the
+        // observation is quarantined, but the run completes.
+        let start = 40;
+        let mut flaky = FlakyProfiler::broken_during(
+            toy_profiler(NoiseProfile::moderate(), 11),
+            start..start + OBSERVATION_RETRIES + 1,
+        );
+        let mut learner = ActiveLearner::new(config, &mut flaky);
+        let mut model = small_model(1);
+        let run = learner.run(&mut model, &dataset, &split).unwrap();
+        assert_eq!(run.ledger.quarantined(), 1);
+        assert_eq!(run.iterations, config.max_iterations);
+        assert!(run.curve.final_rmse().unwrap().is_finite());
+    }
+
+    #[test]
+    fn a_dead_evaluator_during_seeding_is_an_evaluator_error() {
+        let (_, dataset, split) = toy_setup(NoiseProfile::moderate());
+        let config = small_config(SamplingPlan::sequential(5));
+        let mut dead =
+            FlakyProfiler::broken_during(toy_profiler(NoiseProfile::moderate(), 11), 0..usize::MAX);
+        let mut learner = ActiveLearner::new(config, &mut dead);
+        let mut model = small_model(1);
+        assert!(matches!(
+            learner.run(&mut model, &dataset, &split),
+            Err(CoreError::Evaluator(_))
         ));
     }
 

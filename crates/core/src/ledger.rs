@@ -16,6 +16,7 @@ pub struct CostLedger {
     compile_seconds: f64,
     runs: u64,
     compilations: u64,
+    quarantined: u64,
 }
 
 impl CostLedger {
@@ -41,7 +42,17 @@ impl CostLedger {
             compile_seconds,
             runs,
             compilations,
+            quarantined: 0,
         }
+    }
+
+    /// Returns the ledger with its quarantine counter set — the second half
+    /// of the [`from_parts`](CostLedger::from_parts) reconstruction, kept
+    /// separate so fault-free call sites never mention it.
+    #[must_use]
+    pub fn with_quarantined(mut self, quarantined: u64) -> Self {
+        self.quarantined = quarantined;
+        self
     }
 
     /// Records one measurement. The run/compilation counters saturate at
@@ -81,12 +92,29 @@ impl CostLedger {
         self.compilations
     }
 
+    /// Counts one observation lost to quarantine: the evaluator produced
+    /// only non-finite garbage for it, even after bounded retries. Lost
+    /// observations contribute to *no* other counter or cost sum — their
+    /// cost is unknowable — but the count is kept so a persistently broken
+    /// evaluator is visible in the report. (Glitches that heal on retry are
+    /// deliberately *not* counted here: they must leave the run's bytes
+    /// untouched. The fault plane's own `injections` counters observe them.)
+    pub fn record_quarantined(&mut self) {
+        self.quarantined = self.quarantined.saturating_add(1);
+    }
+
+    /// Number of observations lost to quarantine.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
     /// Merges another ledger into this one. Counters saturate at `u64::MAX`.
     pub fn merge(&mut self, other: &CostLedger) {
         self.run_seconds += other.run_seconds;
         self.compile_seconds += other.compile_seconds;
         self.runs = self.runs.saturating_add(other.runs);
         self.compilations = self.compilations.saturating_add(other.compilations);
+        self.quarantined = self.quarantined.saturating_add(other.quarantined);
     }
 }
 
@@ -146,6 +174,26 @@ mod tests {
             original.compilations(),
         );
         assert_eq!(restored, original);
+    }
+
+    #[test]
+    fn quarantined_measurements_count_without_contaminating_costs() {
+        let mut ledger = CostLedger::new();
+        ledger.record(&measurement(1.0, 0.5, true));
+        ledger.record_quarantined();
+        ledger.record_quarantined();
+        assert_eq!(ledger.quarantined(), 2);
+        assert_eq!(ledger.runs(), 1);
+        assert!((ledger.total_seconds() - 1.5).abs() < 1e-12);
+
+        let mut other = CostLedger::new().with_quarantined(3);
+        other.merge(&ledger);
+        assert_eq!(other.quarantined(), 5);
+
+        // Saturation, as for every other counter.
+        let mut saturated = CostLedger::new().with_quarantined(u64::MAX);
+        saturated.record_quarantined();
+        assert_eq!(saturated.quarantined(), u64::MAX);
     }
 
     #[test]

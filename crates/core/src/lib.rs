@@ -59,6 +59,7 @@ pub mod acquisition;
 pub mod criteria;
 pub mod curve;
 pub mod experiment;
+pub mod fault;
 pub mod learner;
 pub mod ledger;
 pub mod plan;
@@ -105,6 +106,9 @@ pub enum CoreError {
     /// ledger belongs to a differently configured campaign, or a
     /// checkpointed record is corrupt.
     Campaign(String),
+    /// The evaluator failed transiently (a flaky device, an injected chaos
+    /// fault); the failed work is safe to retry.
+    Evaluator(String),
     /// An I/O operation on the campaign ledger failed.
     Io(std::io::Error),
     /// JSON (de)serialization through `alic-data` failed.
@@ -124,6 +128,7 @@ impl std::fmt::Display for CoreError {
                 )
             }
             CoreError::Campaign(msg) => write!(f, "campaign error: {msg}"),
+            CoreError::Evaluator(msg) => write!(f, "transient evaluator failure: {msg}"),
             CoreError::Io(e) => write!(f, "campaign ledger I/O failed: {e}"),
             CoreError::Data(e) => write!(f, "campaign serialization failed: {e}"),
         }

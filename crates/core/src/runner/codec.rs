@@ -28,7 +28,7 @@ use crate::experiment::{ComparisonOutcome, PlanResult};
 use crate::learner::{ExampleRecord, LearnerRun};
 use crate::ledger::CostLedger;
 use crate::plan::SamplingPlan;
-use crate::runner::{CampaignEntry, CampaignReport, UnitRecord};
+use crate::runner::{CampaignEntry, CampaignReport, UnitFailure, UnitRecord};
 use crate::{CoreError, Result};
 
 /// Schema tag of one on-disk unit record.
@@ -79,6 +79,17 @@ fn parse_f64_array(value: &JsonValue) -> Result<Vec<f64>> {
 
 fn bad(message: impl Into<String>) -> CoreError {
     CoreError::Campaign(message.into())
+}
+
+/// Looks up an *optional* object field ([`JsonValue::field`] errors on
+/// missing keys). Used for fields that are omitted from canonical output
+/// when empty, so that fault-free reports stay byte-identical to the ones
+/// written before the field existed.
+fn optional_field<'a>(value: &'a JsonValue, name: &str) -> Option<&'a JsonValue> {
+    match value {
+        JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
 }
 
 // --- Sampling plans. --------------------------------------------------------
@@ -164,12 +175,18 @@ fn stats_from_json(value: &JsonValue) -> Result<OnlineStats> {
 /// Returns an error when a (saturating) counter exceeds 2^53 and could not
 /// be decoded back exactly.
 pub fn cost_ledger_to_json(ledger: &CostLedger) -> Result<JsonValue> {
-    Ok(obj(vec![
+    let mut fields = vec![
         ("run_seconds", num(ledger.run_seconds())),
         ("compile_seconds", num(ledger.compile_seconds())),
         ("runs", int(ledger.runs())?),
         ("compilations", int(ledger.compilations())?),
-    ]))
+    ];
+    // Emitted only when measurements were actually quarantined, so ledgers
+    // from clean runs keep their pre-robustness byte encoding.
+    if ledger.quarantined() > 0 {
+        fields.push(("quarantined", int(ledger.quarantined())?));
+    }
+    Ok(obj(fields))
 }
 
 /// Decodes a cost ledger.
@@ -178,12 +195,17 @@ pub fn cost_ledger_to_json(ledger: &CostLedger) -> Result<JsonValue> {
 ///
 /// Returns an error on malformed input.
 pub fn cost_ledger_from_json(value: &JsonValue) -> Result<CostLedger> {
+    let quarantined = match optional_field(value, "quarantined") {
+        Some(v) => v.as_u64()?,
+        None => 0,
+    };
     Ok(CostLedger::from_parts(
         value.field("run_seconds")?.as_f64()?,
         value.field("compile_seconds")?.as_f64()?,
         value.field("runs")?.as_u64()?,
         value.field("compilations")?.as_u64()?,
-    ))
+    )
+    .with_quarantined(quarantined))
 }
 
 // --- Learning curves and runs. ----------------------------------------------
@@ -469,13 +491,35 @@ pub fn outcome_from_json_str(text: &str) -> Result<ComparisonOutcome> {
     outcome_from_json(&JsonValue::parse(text)?)
 }
 
-/// Encodes a merged campaign report.
+fn unit_failure_to_json(failure: &UnitFailure) -> Result<JsonValue> {
+    Ok(obj(vec![
+        ("index", int(failure.index as u64)?),
+        ("kernel", string(&failure.kernel)),
+        ("model", string(&failure.model)),
+        ("error", string(&failure.error)),
+        ("attempts", int(failure.attempts as u64)?),
+    ]))
+}
+
+fn unit_failure_from_json(value: &JsonValue) -> Result<UnitFailure> {
+    Ok(UnitFailure {
+        index: value.field("index")?.as_usize()?,
+        kernel: value.field("kernel")?.as_str()?.to_string(),
+        model: value.field("model")?.as_str()?.to_string(),
+        error: value.field("error")?.as_str()?.to_string(),
+        attempts: value.field("attempts")?.as_usize()?,
+    })
+}
+
+/// Encodes a merged campaign report. The `failures` field is emitted only
+/// when non-empty: a fault-free report serializes to exactly the bytes it
+/// did before resilient execution existed (golden snapshots stay valid).
 ///
 /// # Errors
 ///
 /// Returns an error when a counter or the campaign seed exceeds 2^53.
 pub fn report_to_json(report: &CampaignReport) -> Result<JsonValue> {
-    Ok(obj(vec![
+    let mut fields = vec![
         ("schema", string(REPORT_SCHEMA)),
         (
             "kernels",
@@ -504,7 +548,14 @@ pub fn report_to_json(report: &CampaignReport) -> Result<JsonValue> {
                     .collect::<Result<_>>()?,
             ),
         ),
-    ]))
+    ];
+    if !report.failures.is_empty() {
+        fields.push((
+            "failures",
+            json_array(&report.failures, unit_failure_to_json)?,
+        ));
+    }
+    Ok(obj(fields))
 }
 
 /// Decodes a merged campaign report.
@@ -550,6 +601,14 @@ pub fn report_from_json(value: &JsonValue) -> Result<CampaignReport> {
                 })
             })
             .collect::<Result<_>>()?,
+        failures: match optional_field(value, "failures") {
+            Some(failures) => failures
+                .as_array()?
+                .iter()
+                .map(unit_failure_from_json)
+                .collect::<Result<_>>()?,
+            None => Vec::new(),
+        },
     })
 }
 

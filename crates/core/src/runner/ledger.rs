@@ -16,19 +16,38 @@
 //! place, so a killed process can never leave a torn record — on resume, a
 //! unit either exists completely or is re-run. Because unit results are
 //! deterministic, even two processes racing on the same unit converge on
-//! identical bytes. Stray `*.tmp` files from kills are ignored (and are not
-//! counted as completed units).
+//! identical bytes. Stray `*.tmp` files from kills are swept on open (and
+//! are never counted as completed units).
 //!
 //! The manifest pins the campaign's [`fingerprint`](CampaignSpec::fingerprint);
 //! opening a ledger directory with a differently configured campaign is an
 //! error, which prevents silently merging units from incompatible runs.
+//!
+//! # Self-healing
+//!
+//! Atomic renames protect against kills, but not against a hostile
+//! filesystem (transient write errors, torn data that *looks* committed).
+//! Three layers defend against that, all exercised by the chaos suite:
+//!
+//! * every write retries with bounded exponential backoff
+//!   ([`write_atomic`]),
+//! * the manifest and the merged report are verified by read-back after
+//!   every write and rewritten on mismatch ([`write_verified`]); a
+//!   truncated manifest or report found on open is quarantined to
+//!   `*.corrupt` and regenerated,
+//! * unit records are *not* read back on write (they are bulk data);
+//!   instead [`CampaignLedger::recover`] scans them on resume, quarantines
+//!   any corrupt, truncated, or misindexed record to `*.corrupt`, and
+//!   reports the indices so the campaign re-executes exactly those units.
 
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use alic_data::io::JsonValue;
 
+use crate::fault::{inject, FaultSite};
 use crate::runner::{codec, CampaignReport, CampaignSpec, UnitRecord};
 use crate::{CoreError, Result};
 
@@ -61,13 +80,33 @@ impl CampaignLedger {
         let dir = dir.into();
         fs::create_dir_all(dir.join(UNITS_DIR))?;
         let ledger = CampaignLedger { dir };
+        ledger.sweep_stale_tmp()?;
         let manifest = manifest_json(spec)?;
+        let fresh = manifest.to_json_string()? + "\n";
         let path = ledger.manifest_path();
-        if path.exists() {
-            let existing = JsonValue::parse(&fs::read_to_string(&path)?)?;
-            validate_manifest(&existing, &manifest, &path)?;
-        } else {
-            write_atomic(&path, &(manifest.to_json_string()? + "\n"))?;
+        match fs::read_to_string(&path) {
+            Ok(text) => match JsonValue::parse(&text) {
+                Ok(existing) => validate_manifest(&existing, &manifest, &path)?,
+                // A truncated or torn manifest carries no trustworthy
+                // fingerprint to check against; preserve the evidence as
+                // `*.corrupt` and rewrite it from this campaign's spec.
+                Err(_) => {
+                    quarantine_file(&path)?;
+                    write_verified(&path, &fresh)?;
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                write_verified(&path, &fresh)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        // A torn report.json would survive until someone read it; the merge
+        // step rewrites it anyway, so quarantine it eagerly.
+        let report = ledger.report_path();
+        if let Ok(text) = fs::read_to_string(&report) {
+            if JsonValue::parse(&text).is_err() {
+                quarantine_file(&report)?;
+            }
         }
         Ok(ledger)
     }
@@ -188,12 +227,115 @@ impl CampaignLedger {
     /// Returns serialization or I/O errors.
     pub fn write_report(&self, report: &CampaignReport) -> Result<PathBuf> {
         let path = self.report_path();
-        write_atomic(&path, &(report.to_json_string()? + "\n"))?;
+        write_verified(&path, &(report.to_json_string()? + "\n"))?;
         Ok(path)
+    }
+
+    /// Removes stale `*.tmp-*` files (left by killed processes or failed
+    /// renames) from the ledger root and the units directory, returning how
+    /// many were swept. Quarantined `*.corrupt` files are kept.
+    pub fn sweep_stale_tmp(&self) -> Result<usize> {
+        let mut swept = 0;
+        for dir in [self.dir.clone(), self.dir.join(UNITS_DIR)] {
+            let entries = match fs::read_dir(&dir) {
+                Ok(entries) => entries,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for entry in entries {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if name.contains(".tmp") {
+                    // A racing process may have just renamed its tmp away;
+                    // a NotFound here is success, anything else is not.
+                    match fs::remove_file(entry.path()) {
+                        Ok(()) => swept += 1,
+                        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+        }
+        Ok(swept)
+    }
+
+    /// Scans every checkpointed unit record of `spec`, quarantining corrupt,
+    /// truncated, or misindexed records to `*.corrupt` so that
+    /// [`completed`](CampaignLedger::completed) no longer counts them and a
+    /// resume pass re-executes them. Also sweeps stale `*.tmp` files.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from scanning or renaming; a record that merely
+    /// fails to *parse* is quarantined, never an error.
+    pub fn recover(&self, spec: &CampaignSpec) -> Result<RecoveryReport> {
+        let swept_tmp = self.sweep_stale_tmp()?;
+        let mut quarantined = Vec::new();
+        for index in self.completed()? {
+            if index >= spec.unit_count() {
+                continue;
+            }
+            if self.load_unit(index).is_err() {
+                quarantine_file(&self.unit_path(index))?;
+                quarantined.push(index);
+            }
+        }
+        Ok(RecoveryReport {
+            quarantined,
+            swept_tmp,
+        })
     }
 }
 
+/// What [`CampaignLedger::recover`] found and repaired.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Indices of unit records quarantined to `*.corrupt` (they need
+    /// re-execution).
+    pub quarantined: Vec<usize>,
+    /// Number of stale `*.tmp` files swept.
+    pub swept_tmp: usize,
+}
+
+impl RecoveryReport {
+    /// True when nothing had to be repaired.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.swept_tmp == 0
+    }
+}
+
+/// Moves a damaged file aside as `<name>.corrupt`, preserving the evidence
+/// while making room for a regenerated replacement.
+fn quarantine_file(path: &Path) -> Result<()> {
+    let mut target = path.as_os_str().to_owned();
+    target.push(".corrupt");
+    fs::rename(path, PathBuf::from(target))?;
+    Ok(())
+}
+
+/// Bounded retry attempts for one atomic write (and for one read-back
+/// verification loop in [`write_verified`]).
+const WRITE_ATTEMPTS: usize = 5;
+
 fn write_atomic(path: &Path, contents: &str) -> Result<()> {
+    // Transient I/O errors (and the chaos plane's injected ones) are retried
+    // with a short exponential backoff; only a persistently failing
+    // filesystem surfaces as an error.
+    let mut last = None;
+    for attempt in 0..WRITE_ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(1 << attempt));
+        }
+        match write_atomic_once(path, contents) {
+            Ok(()) => return Ok(()),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(CoreError::Io(last.expect("at least one attempt ran")))
+}
+
+fn write_atomic_once(path: &Path, contents: &str) -> std::io::Result<()> {
     // The temp name is unique per process and write, so two processes
     // racing on the same file (e.g. both creating the manifest of a fresh
     // ledger, or overlapping --resume invocations re-running one unit)
@@ -205,11 +347,51 @@ fn write_atomic(path: &Path, contents: &str) -> Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".tmp-{}-{serial}", std::process::id()));
     let tmp = PathBuf::from(tmp);
-    fs::write(&tmp, contents)?;
+    if inject(FaultSite::WriteIo) {
+        return Err(std::io::Error::other(
+            "chaos: injected transient write failure",
+        ));
+    }
+    // A torn write is the one fault atomic rename cannot see: the data lands
+    // truncated but the rename still commits it. Modelled by writing only a
+    // prefix of the payload and reporting success — the caller's read-back
+    // verification or the resume-time recovery scan must catch it.
+    let payload: &[u8] = if inject(FaultSite::TornWrite) {
+        &contents.as_bytes()[..contents.len() / 2]
+    } else {
+        contents.as_bytes()
+    };
+    // Stray tmp files are removed on *every* failure path (a write that
+    // errors half-way used to leak its tmp); the open-time sweep is the
+    // backstop for tmps orphaned by a kill.
+    fs::write(&tmp, payload).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })?;
+    if inject(FaultSite::RenameFail) {
+        let _ = fs::remove_file(&tmp);
+        return Err(std::io::Error::other("chaos: injected rename failure"));
+    }
     fs::rename(&tmp, path).inspect_err(|_| {
         let _ = fs::remove_file(&tmp);
     })?;
     Ok(())
+}
+
+/// [`write_atomic`] plus read-back verification: rewrites until the bytes on
+/// disk equal `contents`, within [`WRITE_ATTEMPTS`]. Used for the manifest
+/// and the merged report, whose correctness later steps depend on; unit
+/// records rely on the cheaper resume-time recovery scan instead.
+fn write_verified(path: &Path, contents: &str) -> Result<()> {
+    for _ in 0..WRITE_ATTEMPTS {
+        write_atomic(path, contents)?;
+        if fs::read_to_string(path).is_ok_and(|on_disk| on_disk == contents) {
+            return Ok(());
+        }
+    }
+    Err(CoreError::Campaign(format!(
+        "{} failed read-back verification after {WRITE_ATTEMPTS} rewrites",
+        path.display()
+    )))
 }
 
 fn manifest_json(spec: &CampaignSpec) -> Result<JsonValue> {
@@ -348,6 +530,129 @@ mod tests {
         assert!(err.to_string().contains("differently configured"), "{err}");
         // The original campaign still opens fine.
         CampaignLedger::open(&dir, &spec).unwrap();
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open() {
+        let spec = tiny_campaign();
+        let dir = temp_dir("sweep");
+        let ledger = CampaignLedger::open(&dir, &spec).unwrap();
+        let root_tmp = dir.join("manifest.json.tmp-99-0");
+        let unit_tmp = dir.join("units").join("unit-000002.json.tmp-99-1");
+        fs::write(&root_tmp, "half a manif").unwrap();
+        fs::write(&unit_tmp, "{torn").unwrap();
+
+        assert_eq!(ledger.sweep_stale_tmp().unwrap(), 2);
+        assert!(!root_tmp.exists() && !unit_tmp.exists());
+        // Re-opening sweeps too.
+        fs::write(&unit_tmp, "{torn").unwrap();
+        CampaignLedger::open(&dir, &spec).unwrap();
+        assert!(!unit_tmp.exists());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_or_empty_manifest_is_quarantined_and_healed_on_resume() {
+        let spec = tiny_campaign();
+        let dir = temp_dir("manifest-heal");
+        let ledger = CampaignLedger::open(&dir, &spec).unwrap();
+        let sink = |record: &UnitRecord| ledger.record(record);
+        execute_units(&spec, &[0, 1], &sink).unwrap();
+        let healthy = fs::read_to_string(ledger.manifest_path()).unwrap();
+
+        for broken in [&healthy[..healthy.len() / 2], ""] {
+            fs::write(ledger.manifest_path(), broken).unwrap();
+            let reopened = CampaignLedger::open(&dir, &spec).unwrap();
+            // The damaged manifest is preserved as evidence and a valid one
+            // is regenerated; checkpointed units survive untouched.
+            let quarantined = dir.join("manifest.json.corrupt");
+            assert_eq!(fs::read_to_string(&quarantined).unwrap(), *broken);
+            assert_eq!(
+                fs::read_to_string(reopened.manifest_path()).unwrap(),
+                healthy
+            );
+            assert_eq!(reopened.completed().unwrap().len(), 2);
+            fs::remove_file(quarantined).unwrap();
+        }
+        // Healing is reserved for unreadable manifests: a *parseable*
+        // manifest from a differently configured campaign must still be
+        // rejected, not overwritten.
+        let mut other = tiny_campaign();
+        other.base.seed += 1;
+        assert!(CampaignLedger::open(&dir, &other).is_err());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_or_empty_report_is_quarantined_on_resume() {
+        let spec = tiny_campaign();
+        let dir = temp_dir("report-heal");
+        let ledger = CampaignLedger::open(&dir, &spec).unwrap();
+        let indices: Vec<usize> = (0..spec.unit_count()).collect();
+        let sink = |record: &UnitRecord| ledger.record(record);
+        execute_units(&spec, &indices, &sink).unwrap();
+        let report = assemble_report(&spec, ledger.load_all(&spec).unwrap()).unwrap();
+        let path = ledger.write_report(&report).unwrap();
+        let healthy = fs::read_to_string(&path).unwrap();
+
+        for broken in [&healthy[..healthy.len() / 3], ""] {
+            fs::write(&path, broken).unwrap();
+            CampaignLedger::open(&dir, &spec).unwrap();
+            assert!(!path.exists(), "damaged report should be moved aside");
+            let quarantined = dir.join("report.json.corrupt");
+            assert_eq!(fs::read_to_string(&quarantined).unwrap(), *broken);
+            fs::remove_file(quarantined).unwrap();
+            // The merge step regenerates it byte-identically.
+            let rewritten = ledger.write_report(&report).unwrap();
+            assert_eq!(fs::read_to_string(rewritten).unwrap(), healthy);
+        }
+        // A healthy report is left alone by open.
+        CampaignLedger::open(&dir, &spec).unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), healthy);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_quarantines_damaged_unit_records_for_reexecution() {
+        let spec = tiny_campaign();
+        let dir = temp_dir("recover");
+        let ledger = CampaignLedger::open(&dir, &spec).unwrap();
+        let indices: Vec<usize> = (0..spec.unit_count()).collect();
+        let sink = |record: &UnitRecord| ledger.record(record);
+        execute_units(&spec, &indices, &sink).unwrap();
+        let baseline = assemble_report(&spec, ledger.load_all(&spec).unwrap()).unwrap();
+
+        // Damage three records three different ways: garbage, truncation,
+        // and an index/filename mismatch.
+        let unit = |i: usize| dir.join("units").join(format!("unit-{i:06}.json"));
+        fs::write(unit(0), "{garbage").unwrap();
+        let healthy = fs::read_to_string(unit(2)).unwrap();
+        fs::write(unit(2), &healthy[..healthy.len() / 2]).unwrap();
+        fs::copy(unit(3), unit(5)).unwrap();
+
+        let recovery = ledger.recover(&spec).unwrap();
+        assert_eq!(recovery.quarantined, vec![0, 2, 5]);
+        assert!(!recovery.is_clean());
+        for i in [0, 2, 5] {
+            assert!(!unit(i).exists());
+            assert!(unit(i).with_extension("json.corrupt").exists());
+        }
+        // Recovery is idempotent once the damage is quarantined.
+        assert!(ledger.recover(&spec).unwrap().is_clean());
+
+        // Re-executing exactly the quarantined units completes the campaign
+        // with a byte-identical report.
+        execute_units(&spec, &recovery.quarantined, &sink).unwrap();
+        let healed = assemble_report(&spec, ledger.load_all(&spec).unwrap()).unwrap();
+        assert_eq!(
+            healed.to_json_string().unwrap(),
+            baseline.to_json_string().unwrap()
+        );
 
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -96,7 +96,7 @@ use alic_sim::kernel::KernelSpec;
 use alic_sim::profiler::SimulatedProfiler;
 use alic_stats::rng::derive_seed;
 
-use crate::experiment::{assemble_outcome, ComparisonConfig, ComparisonOutcome};
+use crate::experiment::{assemble_outcome_grouped, ComparisonConfig, ComparisonOutcome};
 use crate::learner::{ActiveLearner, LearnerConfig, LearnerRun};
 use crate::plan::SamplingPlan;
 use crate::{CoreError, Result};
@@ -320,10 +320,18 @@ impl KernelContext {
 ///
 /// Propagates learner errors (for example inconsistent configurations).
 pub fn execute_unit(spec: &CampaignSpec, ctx: &KernelContext, key: UnitKey) -> Result<LearnerRun> {
+    let unit = spec.index_of(key);
+    // Chaos sites for unit execution: a transient whole-unit evaluator
+    // error, and a mid-unit panic. Both are inert without an installed
+    // fault plane; both heal by re-execution (units are deterministic).
+    crate::fault::evaluator_fault(unit)?;
+    crate::fault::maybe_unit_panic(unit);
     let config = &spec.base;
     let seed = derive_seed(config.seed, 1000 + key.repetition);
-    let mut profiler =
-        SimulatedProfiler::new(spec.kernels[key.kernel].clone(), derive_seed(seed, 3));
+    let mut profiler = crate::fault::ChaosProfiler::new(SimulatedProfiler::new(
+        spec.kernels[key.kernel].clone(),
+        derive_seed(seed, 3),
+    ));
     // Every plan shares `config.learner.initial_observations` for its seed
     // examples, so all plans start from equally accurate seed data.
     let learner_config = LearnerConfig {
@@ -368,44 +376,259 @@ pub fn execute_units<F>(
 where
     F: Fn(&UnitRecord) -> Result<()> + Sync,
 {
-    spec.validate()?;
-    let count = spec.unit_count();
-    if let Some(&bad) = indices.iter().find(|&&i| i >= count) {
-        return Err(CoreError::InvalidConfig(format!(
-            "unit index {bad} out of range (campaign has {count} units)"
-        )));
-    }
-
-    let mut kernel_ids: Vec<usize> = indices.iter().map(|&i| spec.unit(i).kernel).collect();
-    kernel_ids.sort_unstable();
-    kernel_ids.dedup();
-    let contexts: Vec<KernelContext> = map_units(&kernel_ids, |&k| {
-        KernelContext::prepare(&spec.kernels[k], &spec.base)
-    });
-    let context_of = |kernel: usize| -> &KernelContext {
-        let slot = kernel_ids
-            .binary_search(&kernel)
-            .expect("context prepared for every kernel in the unit set");
-        &contexts[slot]
-    };
-
+    let contexts = UnitContexts::prepare(spec, indices)?;
     indices
         .par_iter()
         .map(|&index| {
             let key = spec.unit(index);
-            let run = execute_unit(spec, context_of(key.kernel), key)?;
-            let record = UnitRecord {
-                index,
-                kernel: spec.kernels[key.kernel].name().to_string(),
-                model: spec.models[key.model].name().to_string(),
-                plan: spec.base.plans[key.plan],
-                repetition: key.repetition,
-                run,
-            };
+            let run = execute_unit(spec, contexts.for_kernel(key.kernel), key)?;
+            let record = make_record(spec, index, key, run);
             checkpoint(&record)?;
             Ok(record)
         })
         .collect()
+}
+
+/// The per-kernel contexts shared by every unit of one executor call.
+struct UnitContexts {
+    kernel_ids: Vec<usize>,
+    contexts: Vec<KernelContext>,
+}
+
+impl UnitContexts {
+    fn prepare(spec: &CampaignSpec, indices: &[usize]) -> Result<Self> {
+        spec.validate()?;
+        let count = spec.unit_count();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= count) {
+            return Err(CoreError::InvalidConfig(format!(
+                "unit index {bad} out of range (campaign has {count} units)"
+            )));
+        }
+        let mut kernel_ids: Vec<usize> = indices.iter().map(|&i| spec.unit(i).kernel).collect();
+        kernel_ids.sort_unstable();
+        kernel_ids.dedup();
+        let contexts: Vec<KernelContext> = map_units(&kernel_ids, |&k| {
+            KernelContext::prepare(&spec.kernels[k], &spec.base)
+        });
+        Ok(UnitContexts {
+            kernel_ids,
+            contexts,
+        })
+    }
+
+    fn for_kernel(&self, kernel: usize) -> &KernelContext {
+        let slot = self
+            .kernel_ids
+            .binary_search(&kernel)
+            .expect("context prepared for every kernel in the unit set");
+        &self.contexts[slot]
+    }
+}
+
+fn make_record(spec: &CampaignSpec, index: usize, key: UnitKey, run: LearnerRun) -> UnitRecord {
+    UnitRecord {
+        index,
+        kernel: spec.kernels[key.kernel].name().to_string(),
+        model: spec.models[key.model].name().to_string(),
+        plan: spec.base.plans[key.plan],
+        repetition: key.repetition,
+        run,
+    }
+}
+
+/// One work unit the resilient executor could not complete, after bounded
+/// re-execution. Recorded in [`CampaignReport::failures`] instead of killing
+/// the campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitFailure {
+    /// Linear unit index within the campaign.
+    pub index: usize,
+    /// Kernel name of the failed unit.
+    pub kernel: String,
+    /// Model family name of the failed unit.
+    pub model: String,
+    /// Human-readable description of the last error (or panic payload).
+    pub error: String,
+    /// How many execution attempts were made.
+    pub attempts: usize,
+}
+
+/// What a resilient execution pass produced: the completed records plus the
+/// units that kept failing.
+#[derive(Debug)]
+pub struct ExecutionOutcome {
+    /// Successfully completed (and checkpointed) unit records.
+    pub records: Vec<UnitRecord>,
+    /// Units that failed every attempt, in index order.
+    pub failures: Vec<UnitFailure>,
+}
+
+/// Execution attempts per unit within one resilient pass (the first run plus
+/// bounded re-execution). Transient faults — injected chaos, a flaky
+/// evaluator — heal within this budget; deterministic errors fail fast into
+/// a [`UnitFailure`].
+pub const UNIT_ATTEMPTS: usize = 3;
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Panic-isolated, failure-tolerant variant of [`execute_units`]: every unit
+/// runs inside `catch_unwind`, so one panicking unit (or a transient
+/// evaluator/checkpoint error) becomes a [`UnitFailure`] after
+/// [`UNIT_ATTEMPTS`] bounded re-executions instead of poisoning the whole
+/// campaign. Completed units are checkpointed exactly as in
+/// [`execute_units`].
+///
+/// # Errors
+///
+/// Returns an error only for an invalid campaign or out-of-range indices;
+/// unit-level problems are reported in the outcome, never as an `Err`.
+pub fn execute_units_resilient<F>(
+    spec: &CampaignSpec,
+    indices: &[usize],
+    checkpoint: &F,
+) -> Result<ExecutionOutcome>
+where
+    F: Fn(&UnitRecord) -> Result<()> + Sync,
+{
+    let contexts = UnitContexts::prepare(spec, indices)?;
+    let results: Vec<std::result::Result<UnitRecord, UnitFailure>> = indices
+        .par_iter()
+        .map(|&index| {
+            let key = spec.unit(index);
+            let mut last_error = String::new();
+            for _ in 0..UNIT_ATTEMPTS {
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> Result<UnitRecord> {
+                        let run = execute_unit(spec, contexts.for_kernel(key.kernel), key)?;
+                        let record = make_record(spec, index, key, run);
+                        checkpoint(&record)?;
+                        Ok(record)
+                    },
+                ));
+                match attempt {
+                    Ok(Ok(record)) => return Ok(record),
+                    Ok(Err(e)) => last_error = e.to_string(),
+                    Err(payload) => last_error = format!("panic: {}", panic_message(&*payload)),
+                }
+            }
+            Err(UnitFailure {
+                index,
+                kernel: spec.kernels[key.kernel].name().to_string(),
+                model: spec.models[key.model].name().to_string(),
+                error: last_error,
+                attempts: UNIT_ATTEMPTS,
+            })
+        })
+        .collect();
+
+    let mut outcome = ExecutionOutcome {
+        records: Vec::with_capacity(results.len()),
+        failures: Vec::new(),
+    };
+    for result in results {
+        match result {
+            Ok(record) => outcome.records.push(record),
+            Err(failure) => outcome.failures.push(failure),
+        }
+    }
+    outcome.failures.sort_by_key(|f| f.index);
+    Ok(outcome)
+}
+
+/// Bounded passes of the self-healing campaign loop ([`heal_campaign`]).
+pub const HEAL_PASSES: usize = 4;
+
+/// What [`heal_campaign`] did: how many passes ran, how many corrupt
+/// records were quarantined along the way, and which units still fail.
+#[derive(Debug)]
+pub struct HealOutcome {
+    /// Execution passes performed (at least 1).
+    pub passes: usize,
+    /// Total unit records quarantined to `*.corrupt` across all passes.
+    pub quarantined: usize,
+    /// Stale `*.tmp` files swept across all passes.
+    pub swept_tmp: usize,
+    /// Units that still fail after every pass (empty = fully healed).
+    pub failures: Vec<UnitFailure>,
+}
+
+impl HealOutcome {
+    /// True when every requested unit is complete and verified on disk.
+    pub fn is_healed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The self-healing campaign driver: executes `indices` against `ledger`
+/// with the panic-isolated executor, then alternates recovery scans
+/// (quarantining corrupt on-disk records) with re-execution of whatever
+/// failed or was quarantined, for up to [`HEAL_PASSES`] passes.
+///
+/// Against a *bounded* adversary (transient faults, or the chaos plane with
+/// per-site budgets) this converges: every pass re-runs only the units that
+/// are not yet complete-and-valid on disk, and deterministic units always
+/// produce the same bytes, so the healed ledger is indistinguishable from a
+/// fault-free run's.
+///
+/// # Errors
+///
+/// Returns configuration and unrecoverable ledger I/O errors; unit failures
+/// and corruption are healed or reported in the outcome.
+pub fn heal_campaign(
+    spec: &CampaignSpec,
+    ledger: &CampaignLedger,
+    indices: &[usize],
+) -> Result<HealOutcome> {
+    let checkpoint = |record: &UnitRecord| ledger.record(record);
+    let mut outcome = HealOutcome {
+        passes: 0,
+        quarantined: 0,
+        swept_tmp: 0,
+        failures: Vec::new(),
+    };
+    let mut to_run: Vec<usize> = indices.to_vec();
+    for _ in 0..HEAL_PASSES {
+        outcome.passes += 1;
+        let pass = execute_units_resilient(spec, &to_run, &checkpoint)?;
+        // Verify what actually landed on disk: a torn unit write reports
+        // success but leaves a record the recovery scan rejects.
+        let recovery = ledger.recover(spec)?;
+        outcome.quarantined += recovery.quarantined.len();
+        outcome.swept_tmp += recovery.swept_tmp;
+        outcome.failures = pass.failures;
+        let mut redo: Vec<usize> = outcome.failures.iter().map(|f| f.index).collect();
+        redo.extend(recovery.quarantined);
+        redo.sort_unstable();
+        redo.dedup();
+        if redo.is_empty() {
+            return Ok(outcome);
+        }
+        to_run = redo;
+    }
+    // Whatever is still broken after the last pass is reported as failed,
+    // including records the final recovery scan quarantined.
+    for &index in &to_run {
+        if !outcome.failures.iter().any(|f| f.index == index) {
+            let key = spec.unit(index);
+            outcome.failures.push(UnitFailure {
+                index,
+                kernel: spec.kernels[key.kernel].name().to_string(),
+                model: spec.models[key.model].name().to_string(),
+                error: "unit record remained corrupt after healing passes".to_string(),
+                attempts: UNIT_ATTEMPTS,
+            });
+        }
+    }
+    outcome.failures.sort_by_key(|f| f.index);
+    Ok(outcome)
 }
 
 /// One `(model, kernel)` cell of a campaign report.
@@ -439,6 +662,10 @@ pub struct CampaignReport {
     pub seed: u64,
     /// One entry per `(kernel, model)` cell, kernel-major.
     pub entries: Vec<CampaignEntry>,
+    /// Work units that could not be completed even after bounded healing
+    /// (empty for a fault-free campaign; serialized only when non-empty, so
+    /// clean reports are byte-identical to pre-resilience ones).
+    pub failures: Vec<UnitFailure>,
 }
 
 impl CampaignReport {
@@ -485,17 +712,56 @@ impl CampaignReport {
 /// Returns [`CoreError::Campaign`] when units are missing, duplicated, or
 /// inconsistent with the campaign specification.
 pub fn assemble_report(spec: &CampaignSpec, records: Vec<UnitRecord>) -> Result<CampaignReport> {
+    assemble_report_with_failures(spec, records, Vec::new())
+}
+
+/// [`assemble_report`] for a campaign that healed everything it could but
+/// still has permanently failed units: `records` must cover exactly the units
+/// *not* listed in `failures`, and every `(cell, plan)` group must keep at
+/// least one surviving repetition — a plan with zero runs has no learning
+/// curve and the cell's Table 1 statistics would silently degenerate.
+///
+/// Surviving cells are assembled from their remaining repetitions via
+/// [`assemble_outcome_grouped`](crate::experiment::assemble_outcome_grouped);
+/// with an empty failure list this is exactly [`assemble_report`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Campaign`] when records and failures together do not
+/// cover the unit matrix, records are duplicated or inconsistent with the
+/// specification, or a `(cell, plan)` group lost all its repetitions.
+pub fn assemble_report_with_failures(
+    spec: &CampaignSpec,
+    records: Vec<UnitRecord>,
+    failures: Vec<UnitFailure>,
+) -> Result<CampaignReport> {
     spec.validate()?;
     let expected = spec.unit_count();
+    let mut failed = vec![false; expected];
+    for failure in &failures {
+        if failure.index >= expected {
+            return Err(CoreError::Campaign(format!(
+                "failed unit index {} out of range (campaign has {expected} units)",
+                failure.index
+            )));
+        }
+        failed[failure.index] = true;
+    }
+    let failed_count = failed.iter().filter(|&&f| f).count();
     let mut records = records;
     records.sort_by_key(|r| r.index);
-    if records.len() != expected {
+    if records.len() + failed_count != expected {
         return Err(CoreError::Campaign(format!(
-            "campaign is incomplete: {} of {expected} unit records present",
+            "campaign is incomplete: {} of {expected} unit records present \
+             ({failed_count} failed)",
             records.len()
         )));
     }
-    for (i, record) in records.iter().enumerate() {
+    let mut surviving = (0..expected).filter(|&i| !failed[i]);
+    for record in &records {
+        let i = surviving
+            .next()
+            .expect("record and failure counts partition the unit matrix");
         if record.index != i {
             return Err(CoreError::Campaign(format!(
                 "unit records are inconsistent: expected index {i}, found {}",
@@ -514,20 +780,45 @@ pub fn assemble_report(spec: &CampaignSpec, records: Vec<UnitRecord>) -> Result<
         }
     }
 
-    let per_cell = spec.base.plans.len() * spec.base.repetitions;
+    // Group the surviving runs per (cell, plan). The unit layout is
+    // kernel-major with plan then repetition fastest, so walking the full
+    // index space in order while skipping failed indices lands every run in
+    // its group.
     let mut runs = records.into_iter().map(|r| r.run);
     let mut entries = Vec::with_capacity(spec.kernels.len() * spec.models.len());
+    let mut index = 0;
     for kernel in &spec.kernels {
         for model in &spec.models {
-            let cell: Vec<LearnerRun> = runs.by_ref().take(per_cell).collect();
+            let mut plan_runs: Vec<(SamplingPlan, Vec<LearnerRun>)> =
+                Vec::with_capacity(spec.base.plans.len());
+            for &plan in &spec.base.plans {
+                let mut group = Vec::with_capacity(spec.base.repetitions);
+                for _ in 0..spec.base.repetitions {
+                    if !failed[index] {
+                        group.push(runs.next().expect("one surviving run per non-failed unit"));
+                    }
+                    index += 1;
+                }
+                if group.is_empty() {
+                    return Err(CoreError::Campaign(format!(
+                        "cell ({}, {}) lost every repetition of plan {plan} to failed \
+                         units; the campaign cannot be assembled",
+                        kernel.name(),
+                        model.name()
+                    )));
+                }
+                plan_runs.push((plan, group));
+            }
             entries.push(CampaignEntry {
                 model: model.name().to_string(),
                 kernel: kernel.name().to_string(),
-                outcome: assemble_outcome(kernel.name(), &spec.base, cell),
+                outcome: assemble_outcome_grouped(kernel.name(), &spec.base, plan_runs),
             });
         }
     }
 
+    let mut failures = failures;
+    failures.sort_by_key(|f| f.index);
     Ok(CampaignReport {
         kernels: spec.kernels.iter().map(|k| k.name().to_string()).collect(),
         models: spec.models.iter().map(|m| m.name().to_string()).collect(),
@@ -535,6 +826,7 @@ pub fn assemble_report(spec: &CampaignSpec, records: Vec<UnitRecord>) -> Result<
         repetitions: spec.base.repetitions,
         seed: spec.base.seed,
         entries,
+        failures,
     })
 }
 
@@ -745,6 +1037,143 @@ mod tests {
             assemble_report(&spec, foreign),
             Err(CoreError::Campaign(_))
         ));
+    }
+
+    #[test]
+    fn resilient_executor_without_faults_matches_the_plain_executor() {
+        let spec = tiny_campaign();
+        let indices: Vec<usize> = (0..spec.unit_count()).collect();
+        let plain = execute_units(&spec, &indices, &|_| Ok(())).unwrap();
+        let outcome = execute_units_resilient(&spec, &indices, &|_| Ok(())).unwrap();
+        assert!(outcome.failures.is_empty());
+        assert_eq!(outcome.records, plain);
+        assert!(matches!(
+            execute_units_resilient(&spec, &[spec.unit_count()], &|_| Ok(())),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn resilient_executor_isolates_panics_and_retries_transient_errors() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let spec = tiny_campaign();
+        let indices: Vec<usize> = (0..8).collect();
+        let transient_denials = AtomicUsize::new(2);
+        let checkpoint = |record: &UnitRecord| match record.index {
+            3 => panic!("chaos monkey in the checkpoint"),
+            5 => Err(CoreError::Evaluator("persistently flaky".to_string())),
+            7 => {
+                // Fails twice, then succeeds: must heal within UNIT_ATTEMPTS.
+                if transient_denials
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    Err(CoreError::Evaluator("transient".to_string()))
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        };
+        let outcome = execute_units_resilient(&spec, &indices, &checkpoint).unwrap();
+        let failed: Vec<usize> = outcome.failures.iter().map(|f| f.index).collect();
+        assert_eq!(failed, vec![3, 5]);
+        for failure in &outcome.failures {
+            assert_eq!(failure.attempts, UNIT_ATTEMPTS);
+            assert_eq!(failure.kernel, "alpha");
+        }
+        assert!(outcome.failures[0].error.contains("panic"));
+        assert!(outcome.failures[1].error.contains("persistently flaky"));
+        let completed: Vec<usize> = outcome.records.iter().map(|r| r.index).collect();
+        assert_eq!(completed, vec![0, 1, 2, 4, 6, 7]);
+    }
+
+    #[test]
+    fn assemble_report_with_failures_uses_surviving_repetitions() {
+        let spec = tiny_campaign();
+        let indices: Vec<usize> = (0..spec.unit_count()).collect();
+        let records = execute_units(&spec, &indices, &|_| Ok(())).unwrap();
+        let baseline = assemble_report(&spec, records.clone()).unwrap();
+
+        // Fail one repetition of cell (alpha, dynatree), plan 0; the group's
+        // surviving repetition must carry the cell.
+        let failure = UnitFailure {
+            index: 1,
+            kernel: "alpha".to_string(),
+            model: spec.models[0].name().to_string(),
+            error: "boom".to_string(),
+            attempts: UNIT_ATTEMPTS,
+        };
+        let survivors: Vec<UnitRecord> = records.iter().filter(|r| r.index != 1).cloned().collect();
+        let report =
+            assemble_report_with_failures(&spec, survivors, vec![failure.clone()]).unwrap();
+        assert_eq!(report.failures, vec![failure.clone()]);
+        assert_eq!(report.entries.len(), 4);
+        assert_eq!(report.entries[0].outcome.plans[0].runs.len(), 1);
+        assert_eq!(report.entries[0].outcome.plans[1].runs.len(), 2);
+        // Unaffected cells are bit-identical to the fault-free merge.
+        assert_eq!(report.entries[1..], baseline.entries[1..]);
+
+        // The failures field round-trips, and clean reports omit it (their
+        // bytes must match pre-resilience reports exactly).
+        let json = report.to_json_string().unwrap();
+        assert!(json.contains("\"failures\""));
+        assert_eq!(CampaignReport::from_json_str(&json).unwrap(), report);
+        assert!(!baseline.to_json_string().unwrap().contains("\"failures\""));
+
+        // Losing every repetition of a (cell, plan) group is unrecoverable.
+        let both = vec![
+            UnitFailure {
+                index: 0,
+                ..failure.clone()
+            },
+            failure,
+        ];
+        let neither: Vec<UnitRecord> = records.into_iter().filter(|r| r.index > 1).collect();
+        assert!(matches!(
+            assemble_report_with_failures(&spec, neither, both),
+            Err(CoreError::Campaign(_))
+        ));
+    }
+
+    #[test]
+    fn heal_campaign_reexecutes_quarantined_records_to_a_clean_ledger() {
+        let dir = std::env::temp_dir().join(format!("alic-campaign-heal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = tiny_campaign();
+        let ledger = CampaignLedger::open(&dir, &spec).unwrap();
+        let indices: Vec<usize> = (0..spec.unit_count()).collect();
+
+        let outcome = heal_campaign(&spec, &ledger, &indices).unwrap();
+        assert!(outcome.is_healed());
+        assert_eq!(outcome.passes, 1);
+        let baseline = assemble_report(&spec, ledger.load_all(&spec).unwrap()).unwrap();
+
+        // Damage two checkpointed records; a heal pass with an *empty* work
+        // list must still find them, quarantine them and re-execute.
+        for i in [2usize, 9] {
+            let path = ledger.dir().join("units").join(format!("unit-{i:06}.json"));
+            std::fs::write(&path, "{ torn mid-write").unwrap();
+        }
+        let outcome = heal_campaign(&spec, &ledger, &[]).unwrap();
+        assert!(outcome.is_healed());
+        assert_eq!(outcome.passes, 2);
+        assert_eq!(outcome.quarantined, 2);
+        for i in [2usize, 9] {
+            let corrupt = ledger
+                .dir()
+                .join("units")
+                .join(format!("unit-{i:06}.json.corrupt"));
+            assert!(corrupt.exists(), "quarantined evidence must be preserved");
+        }
+
+        // The healed ledger merges to the byte-identical fault-free report.
+        let healed = assemble_report(&spec, ledger.load_all(&spec).unwrap()).unwrap();
+        assert_eq!(
+            healed.to_json_string().unwrap(),
+            baseline.to_json_string().unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! ```text
 //! campaign [quick|laptop|full] [--model m1,m2,...] [--kernels k1,k2,...]
 //!          [--dir PATH] [--shard i/n] [--resume] [--merge]
+//!          [--chaos seed:site=rate[xbudget],...]
 //! ```
 //!
 //! * Without `--shard`/`--merge`, it runs every unit of the matrix,
@@ -27,6 +28,14 @@
 //! regardless of sharding, kill points, resumes or thread counts — the
 //! invariant enforced by `tests/campaign_resume.rs` and the CI
 //! `campaign-smoke` job.
+//!
+//! Units always run through the self-healing executor
+//! ([`runner::heal_campaign`]): panicking units are isolated and re-executed,
+//! corrupt on-disk records are quarantined to `*.corrupt` and regenerated.
+//! `--chaos seed:spec` (or the `ALIC_CHAOS` environment variable) installs a
+//! deterministic fault-injection plan — see [`alic_core::fault`] — under
+//! which the healed report must still come out byte-identical; the CI
+//! `chaos-smoke` job holds the binary to exactly that.
 
 use std::path::PathBuf;
 
@@ -57,6 +66,9 @@ pub struct CampaignOptions {
     pub resume: bool,
     /// Merge checkpointed units into `report.json` instead of running any.
     pub merge: bool,
+    /// Deterministic fault-injection plan to install for the run
+    /// (`--chaos seed:site=rate[xbudget],...`).
+    pub chaos: Option<alic_core::fault::FaultPlan>,
 }
 
 impl CampaignOptions {
@@ -76,7 +88,8 @@ impl CampaignOptions {
                 eprintln!("{message}");
                 eprintln!(
                     "usage: campaign [quick|laptop|full] [--model {}[,...]] \
-                     [--kernels adi,mvt,...] [--dir PATH] [--shard i/n] [--resume] [--merge]",
+                     [--kernels adi,mvt,...] [--dir PATH] [--shard i/n] [--resume] [--merge] \
+                     [--chaos seed:site=rate[xbudget],...]",
                     SurrogateSpec::names().join("|")
                 );
                 std::process::exit(2);
@@ -104,6 +117,7 @@ impl CampaignOptions {
         let mut shard: Option<(usize, usize)> = None;
         let mut resume = false;
         let mut merge = false;
+        let mut chaos: Option<alic_core::fault::FaultPlan> = None;
 
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -155,6 +169,11 @@ impl CampaignOptions {
                 shard = Some(
                     parsed.ok_or_else(|| format!("--shard needs the form i/n, got '{text}'"))?,
                 );
+            } else if let Some(text) = value_of("--chaos", &arg)? {
+                chaos = Some(
+                    alic_core::fault::FaultPlan::parse(&text)
+                        .map_err(|e| format!("--chaos: {e}"))?,
+                );
             } else if arg == "--resume" {
                 resume = true;
             } else if arg == "--merge" {
@@ -201,6 +220,7 @@ impl CampaignOptions {
             shard,
             resume,
             merge,
+            chaos,
         })
     }
 
@@ -237,6 +257,20 @@ impl CampaignOptions {
 /// Returns campaign, learner or ledger errors; the binary prints them and
 /// exits non-zero.
 pub fn run(options: &CampaignOptions) -> Result<()> {
+    // Deactivates an explicitly installed fault plane on every exit path, so
+    // a library caller's next invocation starts clean.
+    struct PlaneOff;
+    impl Drop for PlaneOff {
+        fn drop(&mut self) {
+            alic_core::fault::deactivate();
+        }
+    }
+    let _chaos_guard = options.chaos.as_ref().map(|plan| {
+        println!("[chaos plan installed: seed {}]", plan.seed());
+        alic_core::fault::install(plan.clone());
+        PlaneOff
+    });
+
     let spec = options.campaign_spec();
     let ledger = CampaignLedger::open(&options.dir, &spec)?;
     println!(
@@ -275,9 +309,28 @@ pub fn run(options: &CampaignOptions) -> Result<()> {
         to_run.len(),
         targets.len()
     );
-    let sink = |record: &runner::UnitRecord| ledger.record(record);
-    runner::execute_units(&spec, &to_run, &sink)?;
-    println!("checkpointed {} units", to_run.len());
+    let outcome = runner::heal_campaign(&spec, &ledger, &to_run)?;
+    println!(
+        "checkpointed {} units in {} healing pass(es) ({} corrupt record(s) quarantined, \
+         {} stale tmp file(s) swept)",
+        to_run.len() - outcome.failures.len(),
+        outcome.passes,
+        outcome.quarantined,
+        outcome.swept_tmp
+    );
+    if !outcome.is_healed() {
+        for failure in &outcome.failures {
+            eprintln!(
+                "unit {} ({}, {}): {} [after {} attempts]",
+                failure.index, failure.kernel, failure.model, failure.error, failure.attempts
+            );
+        }
+        return Err(CoreError::Campaign(format!(
+            "{} unit(s) still failing after {} healing passes",
+            outcome.failures.len(),
+            outcome.passes
+        )));
+    }
 
     if options.shard.is_none() {
         // The whole matrix is complete: merge immediately, exactly as a
@@ -378,6 +431,8 @@ mod tests {
             "2/3",
             "--resume",
             "--merge",
+            "--chaos",
+            "7:torn=0.5x3,panic=0.1",
         ])
         .unwrap();
         assert_eq!(options.scale, Scale::Quick);
@@ -389,6 +444,12 @@ mod tests {
         assert_eq!(options.dir, PathBuf::from("/tmp/x"));
         assert_eq!(options.shard, Some((2, 3)));
         assert!(options.resume && options.merge);
+        let plan = options.chaos.unwrap();
+        assert_eq!(plan.seed(), 7);
+        use alic_core::fault::FaultSite;
+        assert_eq!(plan.site(FaultSite::TornWrite).unwrap().budget, Some(3));
+        assert!(plan.site(FaultSite::UnitPanic).is_some());
+        assert!(plan.site(FaultSite::WriteIo).is_none());
     }
 
     #[test]
@@ -414,6 +475,8 @@ mod tests {
         assert!(parse(&["--kernels", "bogus"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--dir"]).is_err());
+        assert!(parse(&["--chaos", "not-a-plan"]).is_err());
+        assert!(parse(&["--chaos", "7:torn=1.5"]).is_err());
     }
 
     #[test]

@@ -42,9 +42,9 @@ impl SurrogateModel for ConstantMean {
             }
             _ => {}
         }
-        if !y.is_finite() {
-            return Err(ModelError::NonFiniteInput);
-        }
+        // The prediction ignores x, but a NaN feature still signals a broken
+        // observation; the uniform policy rejects it like every other family.
+        crate::validate_observation(x, y)?;
         self.stats.push(y);
         Ok(())
     }
@@ -106,6 +106,10 @@ mod tests {
         ));
         assert_eq!(
             model.update(&[1.0, 2.0], f64::NAN).unwrap_err(),
+            ModelError::NonFiniteInput
+        );
+        assert_eq!(
+            model.update(&[f64::NAN, 2.0], 1.0).unwrap_err(),
             ModelError::NonFiniteInput
         );
     }

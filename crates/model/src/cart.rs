@@ -233,9 +233,7 @@ impl SurrogateModel for RegressionTree {
         // absorbed into the leaf that contains it. (This limitation is
         // exactly why the dynamic tree exists.)
         self.check_dimension(x)?;
-        if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
-            return Err(ModelError::NonFiniteInput);
-        }
+        crate::validate_observation(x, y)?;
         let mut index = 0;
         loop {
             match &mut self.nodes[index] {

@@ -179,6 +179,15 @@ impl GaussianProcess {
     /// which makes an update-triggered fallback land on exactly the
     /// factorization a cold fit of the same data would produce.
     fn refactorize(&mut self) -> Result<()> {
+        // Chaos site: simulate the *complete* exhaustion of the jitter
+        // ladder. Injecting per-rung instead would change which jitter the
+        // surviving factorization uses — and therefore the numbers — so the
+        // fault models only the terminal outcome.
+        if alic_stats::fault::inject(alic_stats::fault::FaultSite::JitterExhaustion) {
+            return Err(ModelError::Numerical(format!(
+                "chaos: injected jitter-ladder exhaustion after {MAX_JITTER_ATTEMPTS} escalations"
+            )));
+        }
         let n = self.ys.len();
         self.refactorizations += 1;
         let mut jitter = self.base_jitter();
@@ -331,9 +340,7 @@ impl SurrogateModel for GaussianProcess {
 
     fn update(&mut self, x: &[f64], y: f64) -> Result<()> {
         self.check_dimension(x)?;
-        if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
-            return Err(ModelError::NonFiniteInput);
-        }
+        crate::validate_observation(x, y)?;
         if self.chol.is_none() {
             return Err(ModelError::NotFitted);
         }

@@ -102,9 +102,7 @@ impl SurrogateModel for KnnRegressor {
 
     fn update(&mut self, x: &[f64], y: f64) -> Result<()> {
         self.check_dimension(x)?;
-        if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
-            return Err(ModelError::NonFiniteInput);
-        }
+        crate::validate_observation(x, y)?;
         self.xs.push_row(x);
         self.ys.push(y);
         Ok(())

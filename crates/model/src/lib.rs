@@ -123,6 +123,22 @@ pub fn row_views(rows: &[Vec<f64>]) -> Vec<&[f64]> {
     rows.iter().map(Vec::as_slice).collect()
 }
 
+/// Validates one `(x, y)` observation before it may touch model state.
+///
+/// Every [`SurrogateModel::update`] implementation calls this first, making
+/// the non-finite-input policy uniform across the six families: a NaN or
+/// infinite feature or target is rejected with
+/// [`ModelError::NonFiniteInput`] *before any state mutation*, so a rejected
+/// observation can never change a model's subsequent predictions. The
+/// learner relies on this to quarantine bad observations without poisoning
+/// the surrogate.
+pub fn validate_observation(x: &[f64], y: f64) -> Result<()> {
+    if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
+        return Err(ModelError::NonFiniteInput);
+    }
+    Ok(())
+}
+
 pub(crate) fn validate_training_set(xs: &[&[f64]], ys: &[f64]) -> Result<usize> {
     if xs.is_empty() || ys.is_empty() {
         return Err(ModelError::EmptyTrainingSet);

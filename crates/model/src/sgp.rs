@@ -314,6 +314,13 @@ impl SurrogateModel for SparseGaussianProcess {
                 kmm.push(self.kernel(zi, self.inducing.row(j)));
             }
         }
+        // Chaos site: complete-exhaustion only, for the same reason as the
+        // dense GP — a per-rung fault would perturb the surviving jitter.
+        if alic_stats::fault::inject(alic_stats::fault::FaultSite::JitterExhaustion) {
+            return Err(ModelError::Numerical(format!(
+                "chaos: injected jitter-ladder exhaustion after {MAX_JITTER_ATTEMPTS} escalations"
+            )));
+        }
         let mut jitter = self.base_jitter();
         let mut lm = None;
         for _ in 0..MAX_JITTER_ATTEMPTS {
@@ -404,9 +411,7 @@ impl SurrogateModel for SparseGaussianProcess {
 
     fn update(&mut self, x: &[f64], y: f64) -> Result<()> {
         self.check_dimension(x)?;
-        if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
-            return Err(ModelError::NonFiniteInput);
-        }
+        crate::validate_observation(x, y)?;
         if self.lp.is_none() {
             return Err(ModelError::NotFitted);
         }

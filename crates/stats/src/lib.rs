@@ -17,7 +17,9 @@
 //! * [`bitset`] — u64 mask words over contiguous columns (popcount counts,
 //!   in-order masked sums), the substrate of the dynamic tree's split scan,
 //! * [`sampling`] — random subset selection used for candidate sets,
-//! * [`rng`] — deterministic, seedable random-number-generator helpers.
+//! * [`rng`] — deterministic, seedable random-number-generator helpers,
+//! * [`fault`] — the deterministic fault-injection plane behind the
+//!   workspace's chaos testing (`ALIC_CHAOS`).
 //!
 //! # Examples
 //!
@@ -38,6 +40,7 @@ pub mod bitset;
 pub mod cholesky;
 pub mod ci;
 pub mod error;
+pub mod fault;
 pub mod features;
 pub mod matrix;
 pub mod normalize;

@@ -1,0 +1,107 @@
+//! Uniform non-finite observation policy across all surrogate families.
+//!
+//! A flaky evaluator can hand the learner a NaN or infinite observation at
+//! any time. The contract (enforced by `alic_model::validate_observation` at
+//! the top of every `update` implementation) is that such an observation is
+//! rejected with `ModelError::NonFiniteInput` *before any state mutation*:
+//! the model's subsequent predictions must be bitwise unchanged, for every
+//! family, for every way the observation can be broken.
+
+use alic_model::{row_views, ActiveSurrogate, ModelError, SurrogateSpec};
+
+fn training_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..40)
+        .map(|i| vec![i as f64 / 39.0, (i % 7) as f64])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 1.0 + 2.0 * x[0] + 0.1 * x[1] + 0.3 * x[0] * x[0])
+        .collect();
+    (xs, ys)
+}
+
+fn probes() -> Vec<Vec<f64>> {
+    vec![
+        vec![0.1, 1.0],
+        vec![0.5, 3.0],
+        vec![0.9, 6.0],
+        vec![0.33, 0.0],
+    ]
+}
+
+fn snapshot(model: &dyn ActiveSurrogate, probes: &[Vec<f64>]) -> Vec<(u64, u64)> {
+    probes
+        .iter()
+        .map(|p| {
+            let pred = model.predict(p).expect("fitted model must predict");
+            (pred.mean.to_bits(), pred.variance.to_bits())
+        })
+        .collect()
+}
+
+#[test]
+fn a_nan_observation_never_changes_any_familys_predictions() {
+    let (xs, ys) = training_data();
+    let probes = probes();
+    let bad_observations: [(&[f64], f64); 5] = [
+        (&[0.5, 2.0], f64::NAN),
+        (&[0.5, 2.0], f64::INFINITY),
+        (&[0.5, 2.0], f64::NEG_INFINITY),
+        (&[f64::NAN, 2.0], 1.0),
+        (&[0.5, f64::INFINITY], 1.0),
+    ];
+    for spec in SurrogateSpec::all() {
+        let mut model = spec.build(11);
+        model
+            .fit(&row_views(&xs), &ys)
+            .unwrap_or_else(|e| panic!("{spec}: fit failed: {e}"));
+        let before = snapshot(model.as_ref(), &probes);
+        let count_before = model.observation_count();
+        for (x, y) in bad_observations {
+            assert_eq!(
+                model.update(x, y).unwrap_err(),
+                ModelError::NonFiniteInput,
+                "{spec}: non-finite observation ({x:?}, {y}) must be rejected"
+            );
+        }
+        assert_eq!(
+            snapshot(model.as_ref(), &probes),
+            before,
+            "{spec}: rejected observations changed the predictions"
+        );
+        assert_eq!(
+            model.observation_count(),
+            count_before,
+            "{spec}: rejected observations changed the observation count"
+        );
+        // The model must still accept good observations afterwards.
+        model
+            .update(&[0.5, 2.0], 2.1)
+            .unwrap_or_else(|e| panic!("{spec}: healthy update after rejection failed: {e}"));
+        assert_eq!(model.observation_count(), count_before + 1);
+    }
+}
+
+#[test]
+fn non_finite_training_sets_are_rejected_before_fit() {
+    let (mut xs, mut ys) = training_data();
+    ys[3] = f64::NAN;
+    for spec in SurrogateSpec::all() {
+        let mut model = spec.build(11);
+        assert_eq!(
+            model.fit(&row_views(&xs), &ys).unwrap_err(),
+            ModelError::NonFiniteInput,
+            "{spec}: NaN target accepted by fit"
+        );
+    }
+    ys[3] = 1.0;
+    xs[5][0] = f64::INFINITY;
+    for spec in SurrogateSpec::all() {
+        let mut model = spec.build(11);
+        assert_eq!(
+            model.fit(&row_views(&xs), &ys).unwrap_err(),
+            ModelError::NonFiniteInput,
+            "{spec}: infinite feature accepted by fit"
+        );
+    }
+}
