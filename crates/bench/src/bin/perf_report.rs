@@ -11,16 +11,21 @@
 //! fit and ALC pass at a scale where the dense GP's O(n³)/O(n²) costs are
 //! simply infeasible, an update loop whose O(m²) cost is independent of
 //! the 100k training set behind it, and a dense-vs-sparse crossover fit at
-//! the dense GP's own `gp_fit` scale. The report is JSON (schema documented
+//! the dense GP's own `gp_fit` scale, and the serving-layer round-trip
+//! workloads (`serve_*`, since PR 8): the full request→reply latency of
+//! `suggest` and `observe` through the daemon engine's dispatch — parse,
+//! session table, surrogate work, and for `observe` the durable
+//! read-back-verified checkpoint the replied-⇒-durable contract pays for
+//! per request. The report is JSON (schema documented
 //! in the [`alic_bench`] crate docs); the canonical `full` scale carries
 //! the PR 5 baseline timings measured on the same machine, so the report
 //! states the speedup of the bitset/block scan kernels directly.
 //!
 //! ```text
-//! cargo run --release --bin perf_report                     # full scale -> BENCH_PR6.json
+//! cargo run --release --bin perf_report                     # full scale -> BENCH_PR8.json
 //! cargo run --release --bin perf_report -- --scale smoke --out /tmp/smoke.json
 //! cargo run --release --bin perf_report -- --scale smoke \
-//!     --baseline BENCH_PR5.json --max-regression 2.0       # CI regression gate
+//!     --baseline BENCH_PR8.json --max-regression 2.0       # CI regression gate
 //! ```
 //!
 //! `--scale smoke` (or `ALIC_PERF_SCALE=smoke`) runs tiny versions of every
@@ -61,7 +66,8 @@ use alic_core::runner::run_campaign;
 use alic_model::dynatree::{DynaTree, DynaTreeConfig};
 use alic_model::gp::GaussianProcess;
 use alic_model::sgp::{SparseGaussianProcess, SparseGpConfig};
-use alic_model::{row_views, ActiveSurrogate, SurrogateModel};
+use alic_model::{row_views, ActiveSurrogate, SurrogateModel, SurrogateSpec};
+use alic_serve::{ConnState, Engine, ServeConfig};
 
 /// PR 5 baseline, measured on the same machine (single core, release build,
 /// per-workload best over three repeated report runs to defeat clock
@@ -113,6 +119,14 @@ struct ScaleParams {
     sgp_points: usize,
     /// Inducing-set size for the sparse-GP workloads.
     sgp_inducing: usize,
+    /// Observations preloaded into the serving session before the
+    /// `serve_suggest` round-trips are timed.
+    serve_preload: usize,
+    /// `suggest` batch size for the serving round-trip workload.
+    serve_suggest: usize,
+    /// Observations per `serve_observe` batch (each one a full durable
+    /// round trip).
+    serve_batch: usize,
     /// Best-of repetitions for the (cheap) scoring workload and the
     /// (expensive) fit/update/learner workloads respectively.
     reps_scoring: usize,
@@ -132,6 +146,9 @@ const FULL: ScaleParams = ScaleParams {
     learner_candidates: 500,
     sgp_points: 100_000,
     sgp_inducing: 128,
+    serve_preload: 200,
+    serve_suggest: 16,
+    serve_batch: 50,
     reps_scoring: 10,
     reps_heavy: 3,
 };
@@ -149,6 +166,9 @@ const SMOKE: ScaleParams = ScaleParams {
     learner_candidates: 30,
     sgp_points: 2_000,
     sgp_inducing: 32,
+    serve_preload: 20,
+    serve_suggest: 4,
+    serve_batch: 10,
     reps_scoring: 2,
     reps_heavy: 1,
 };
@@ -632,6 +652,97 @@ fn run_workloads(params: &ScaleParams) -> Vec<WorkloadResult> {
         });
     }
 
+    // 10. Serving round-trips (PR 8): request→reply latency through the
+    //     daemon engine's dispatch. `serve_suggest` is the pure-read path
+    //     (parse, session table, pool sampling, GP ALC ranking);
+    //     `serve_observe` is the mutating path and so includes the durable,
+    //     read-back-verified checkpoint write that backs the daemon's
+    //     replied-⇒-durable contract — the per-request price of crash
+    //     safety is exactly what this entry tracks.
+    {
+        let dir = std::env::temp_dir().join(format!("alic-perf-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = ServeConfig::new(&dir);
+        config.default_model = SurrogateSpec::Gp(Default::default());
+        let mut engine = Engine::open(config).expect("temp serve dir is writable");
+        let mut conn = ConnState::new();
+        let request = |engine: &mut Engine, conn: &mut ConnState, line: &str| {
+            let reply = engine.handle_line(conn, line).reply.expect("reply");
+            assert!(reply.starts_with("ok "), "{line:?} -> {reply}");
+            reply
+        };
+        let observe_line = |i: usize| {
+            format!(
+                "observe {},{} {:.3}",
+                1 + i % 30,
+                i % 12,
+                1.0 + (i % 7) as f64
+            )
+        };
+
+        // 10a. `suggest` round-trips against a session preloaded with
+        //      `serve_preload` observations.
+        request(
+            &mut engine,
+            &mut conn,
+            "newsession perf u:unroll:1:30,t:cache-tile:0:11",
+        );
+        for i in 0..params.serve_preload {
+            request(&mut engine, &mut conn, &observe_line(i));
+        }
+        let suggest_line = format!("suggest {}", params.serve_suggest);
+        let seconds = time_workload(
+            || {
+                std::hint::black_box(request(&mut engine, &mut conn, &suggest_line));
+            },
+            params.reps_scoring,
+        );
+        let name = format!(
+            "serve_suggest_{}obs_{}",
+            params.serve_preload, params.serve_suggest
+        );
+        results.push(WorkloadResult {
+            description: format!(
+                "serve round-trip: suggest {} on a {}-observation GP session",
+                params.serve_suggest, params.serve_preload
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+
+        // 10b. `observe` round-trips: a fresh session per iteration keeps
+        //      the per-batch cost constant (checkpoint size and model grow
+        //      with the log, so reusing one session would drift).
+        let batch = params.serve_batch;
+        let seconds = time_workload(
+            || {
+                let mut conn = ConnState::new();
+                request(
+                    &mut engine,
+                    &mut conn,
+                    "newsession perf u:unroll:1:30,t:cache-tile:0:11",
+                );
+                for i in 0..batch {
+                    request(&mut engine, &mut conn, &observe_line(i));
+                }
+            },
+            params.reps_heavy,
+        );
+        let name = format!("serve_observe_{batch}x");
+        results.push(WorkloadResult {
+            description: format!(
+                "serve round-trip: newsession + {batch} observes, each durably checkpointed \
+                 (read-back-verified atomic write per request)"
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     results
 }
 
@@ -639,7 +750,7 @@ fn render_json(scale_label: &str, results: &[WorkloadResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"alic-perf-report/v1\",");
-    let _ = writeln!(out, "  \"pr\": 6,");
+    let _ = writeln!(out, "  \"pr\": 8,");
     let _ = writeln!(out, "  \"scale\": \"{scale_label}\",");
     let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
     out.push_str("  \"workloads\": [\n");
@@ -744,7 +855,7 @@ fn load_report_workloads(path: &str) -> Vec<WorkloadResult> {
 
 fn main() {
     let mut scale = std::env::var("ALIC_PERF_SCALE").unwrap_or_else(|_| "full".to_string());
-    let mut out_path = "BENCH_PR6.json".to_string();
+    let mut out_path = "BENCH_PR8.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut merge_path: Option<String> = None;
     let mut max_regression: Option<f64> = None;

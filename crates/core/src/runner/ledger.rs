@@ -307,7 +307,7 @@ impl RecoveryReport {
 
 /// Moves a damaged file aside as `<name>.corrupt`, preserving the evidence
 /// while making room for a regenerated replacement.
-fn quarantine_file(path: &Path) -> Result<()> {
+pub fn quarantine_file(path: &Path) -> Result<()> {
     let mut target = path.as_os_str().to_owned();
     target.push(".corrupt");
     fs::rename(path, PathBuf::from(target))?;
@@ -316,9 +316,18 @@ fn quarantine_file(path: &Path) -> Result<()> {
 
 /// Bounded retry attempts for one atomic write (and for one read-back
 /// verification loop in [`write_verified`]).
-const WRITE_ATTEMPTS: usize = 5;
+pub const WRITE_ATTEMPTS: usize = 5;
 
-fn write_atomic(path: &Path, contents: &str) -> Result<()> {
+/// Writes `contents` to `path` atomically (write to a unique `*.tmp`, then
+/// rename into place), retrying transient failures with bounded exponential
+/// backoff. Also the durability primitive behind serve-session checkpoints.
+///
+/// # Errors
+///
+/// Returns the last I/O error once all [`WRITE_ATTEMPTS`] attempts fail —
+/// always a structured [`CoreError`], never a panic, so exhausted retries
+/// cannot abort a healing pass or take down a daemon request loop.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<()> {
     // Transient I/O errors (and the chaos plane's injected ones) are retried
     // with a short exponential backoff; only a persistently failing
     // filesystem surfaces as an error.
@@ -332,7 +341,15 @@ fn write_atomic(path: &Path, contents: &str) -> Result<()> {
             Err(e) => last = Some(e),
         }
     }
-    Err(CoreError::Io(last.expect("at least one attempt ran")))
+    match last {
+        Some(e) => Err(CoreError::Io(e)),
+        // Unreachable with WRITE_ATTEMPTS > 0, but a miscounted loop must
+        // degrade to a structured error, not a panic mid-heal.
+        None => Err(CoreError::Campaign(format!(
+            "atomic write of {} made no attempts (WRITE_ATTEMPTS = {WRITE_ATTEMPTS})",
+            path.display()
+        ))),
+    }
 }
 
 fn write_atomic_once(path: &Path, contents: &str) -> std::io::Result<()> {
@@ -381,7 +398,12 @@ fn write_atomic_once(path: &Path, contents: &str) -> std::io::Result<()> {
 /// disk equal `contents`, within [`WRITE_ATTEMPTS`]. Used for the manifest
 /// and the merged report, whose correctness later steps depend on; unit
 /// records rely on the cheaper resume-time recovery scan instead.
-fn write_verified(path: &Path, contents: &str) -> Result<()> {
+///
+/// # Errors
+///
+/// Returns write errors from [`write_atomic`], or [`CoreError::Campaign`]
+/// when the bytes on disk still disagree after [`WRITE_ATTEMPTS`] rewrites.
+pub fn write_verified(path: &Path, contents: &str) -> Result<()> {
     for _ in 0..WRITE_ATTEMPTS {
         write_atomic(path, contents)?;
         if fs::read_to_string(path).is_ok_and(|on_disk| on_disk == contents) {

@@ -116,7 +116,11 @@ impl SurrogateSpec {
     /// `seed` feeds the model's internal randomness where the family has any
     /// (currently only the dynamic tree); deterministic families ignore it,
     /// so experiment harnesses can pass a per-repetition seed unconditionally.
-    pub fn build(&self, seed: u64) -> Box<dyn ActiveSurrogate> {
+    ///
+    /// The box is `Send` so long-lived services (the serve daemon's engine
+    /// owner thread) can hold sessions across threads; every model family is
+    /// plain owned data.
+    pub fn build(&self, seed: u64) -> Box<dyn ActiveSurrogate + Send> {
         match *self {
             SurrogateSpec::DynaTree(config) => {
                 Box::new(DynaTree::new(DynaTreeConfig { seed, ..config }))

@@ -1,0 +1,147 @@
+//! Transport loops: stdin/stdout and TCP.
+//!
+//! Both loops are thin shells over [`Engine::handle_line`]. The TCP mode
+//! accepts concurrent connections but serializes engine access through a
+//! single owner thread (requests queue on a channel in arrival order), so
+//! session state needs no locking and surrogate internals — which already
+//! multiplex their fit/update work onto the rayon pool — stay
+//! single-owner. Connection I/O goes through the [`crate::chaos`] wrappers
+//! so the fault plane reaches the wire.
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+
+use crate::chaos::{write_reply, ChaosLines};
+use crate::engine::{Action, ConnState, Engine};
+use crate::protocol::PROTOCOL_VERSION;
+
+/// Runs the daemon over stdin/stdout until EOF, `quit`, or `shutdown`.
+///
+/// Every session flushes to checkpoint on the way out, whatever ended the
+/// loop; a SIGKILL skips that, which is exactly the case the per-request
+/// checkpoints already cover.
+///
+/// # Errors
+///
+/// Propagates stdin read errors (write errors end the loop like EOF: the
+/// one client is gone).
+pub fn serve_stdio(mut engine: Engine) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut reader = ChaosLines::new(stdin.lock());
+    let mut out = stdout.lock();
+    let mut conn = ConnState::new();
+    if write_reply(&mut out, &format!("ok {PROTOCOL_VERSION}")).is_err() {
+        engine.flush_all();
+        return Ok(());
+    }
+    while let Some(line) = reader.next_line()? {
+        let response = engine.handle_line(&mut conn, &line);
+        if let Some(reply) = &response.reply {
+            if write_reply(&mut out, reply).is_err() {
+                break;
+            }
+        }
+        match response.action {
+            Action::Continue => {}
+            Action::CloseConnection | Action::ShutdownDaemon => break,
+        }
+    }
+    engine.flush_all();
+    Ok(())
+}
+
+enum EngineMsg {
+    Line {
+        conn: u64,
+        line: String,
+        reply: mpsc::Sender<(Option<String>, bool)>,
+    },
+    Close {
+        conn: u64,
+    },
+}
+
+/// Runs the daemon on a TCP listener; one thread per connection, one owner
+/// thread for the engine. `shutdown` flushes every session and exits the
+/// process (the accept loop holds no state worth unwinding).
+///
+/// # Errors
+///
+/// Returns bind errors; per-connection errors only end that connection.
+pub fn serve_tcp(engine: Engine, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    let (tx, rx) = mpsc::channel::<EngineMsg>();
+    std::thread::spawn(move || engine_owner(engine, rx));
+    let mut next_conn = 0u64;
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let conn = next_conn;
+        next_conn += 1;
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, conn, &tx);
+            let _ = tx.send(EngineMsg::Close { conn });
+        });
+    }
+    Ok(())
+}
+
+fn engine_owner(mut engine: Engine, rx: mpsc::Receiver<EngineMsg>) {
+    let mut conns: std::collections::HashMap<u64, ConnState> = std::collections::HashMap::new();
+    for msg in rx {
+        match msg {
+            EngineMsg::Close { conn } => {
+                conns.remove(&conn);
+            }
+            EngineMsg::Line { conn, line, reply } => {
+                let state = conns.entry(conn).or_default();
+                let response = engine.handle_line(state, &line);
+                let shutdown = response.action == Action::ShutdownDaemon;
+                let close = shutdown || response.action == Action::CloseConnection;
+                if close {
+                    conns.remove(&conn);
+                }
+                let _ = reply.send((response.reply, close));
+                if shutdown {
+                    engine.flush_all();
+                    std::process::exit(0);
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    conn: u64,
+    tx: &mpsc::Sender<EngineMsg>,
+) -> std::io::Result<()> {
+    let mut reader = ChaosLines::new(BufReader::new(stream.try_clone()?));
+    let mut out = stream;
+    write_reply(&mut out, &format!("ok {PROTOCOL_VERSION}"))?;
+    while let Some(line) = reader.next_line()? {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if tx
+            .send(EngineMsg::Line {
+                conn,
+                line,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            break;
+        }
+        let Ok((reply, close)) = reply_rx.recv() else {
+            break;
+        };
+        if let Some(reply) = reply {
+            write_reply(&mut out, &reply)?;
+        }
+        if close {
+            break;
+        }
+    }
+    Ok(())
+}

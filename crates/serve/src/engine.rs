@@ -1,0 +1,756 @@
+//! The request engine: session table, dispatch, durability, degradation.
+//!
+//! The engine is transport-agnostic — [`Engine::handle_line`] maps one
+//! request line to one reply, and the stdin/TCP loops in [`crate::daemon`]
+//! are thin shells around it. Its contracts:
+//!
+//! * **Replied ⇒ durable** (with the default `checkpoint_every = 1`): a
+//!   mutating request is checkpointed through the ledger's
+//!   [`write_verified`] *before* the `ok` reply exists; on checkpoint
+//!   failure the mutation is rolled back and a structured `err` returned.
+//!   The converse does not hold — a kill between commit and reply can leave
+//!   one acknowledged-looking observation on disk (at-least-once). Clients
+//!   needing exactly-once re-`attach` and compare the reported observation
+//!   count before retrying an unacknowledged `observe`.
+//! * **Panic isolation**: dispatch runs under `catch_unwind`; a panicking
+//!   request detaches the connection's live session (its on-disk
+//!   checkpoint is unaffected) and yields `err panic`, like
+//!   `heal_campaign` quarantines a panicking work unit.
+//! * **Deadlines**: requests check a per-request deadline at safe points
+//!   (never between a durable commit and its reply) and shed with
+//!   `err deadline`.
+//! * **Graceful degradation**: at most `max_live` sessions are resident;
+//!   attaching one more evicts the least-recently-used idle session to its
+//!   checkpoint. When even eviction fails (e.g. a failing disk), requests
+//!   are shed with `err busy retry-after-ms <hint>`, the hint backing off
+//!   exponentially while the condition persists.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use alic_core::runner::ledger::{quarantine_file, write_verified};
+use alic_model::spec::SurrogateSpec;
+use alic_stats::fault::{inject, FaultSite};
+use alic_stats::rng::derive_seed2;
+
+use crate::protocol::{
+    self, code, format_config, format_cost, sanitize, ErrReply, Request, MAX_LINE_BYTES,
+};
+use crate::session::TuningSession;
+
+/// Subdirectory of the serve directory holding one checkpoint per session.
+pub const SESSIONS_DIR: &str = "sessions";
+
+/// Default bound on resident live sessions.
+pub const DEFAULT_MAX_LIVE: usize = 8;
+
+/// Default per-request deadline.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_millis(2_000);
+
+/// RNG stream label under which per-session seeds derive from the daemon
+/// seed.
+const STREAM_SESSION_SEED: u64 = 0x5e55;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Root of the checkpoint directory (`<dir>/sessions/<id>.json`).
+    pub dir: PathBuf,
+    /// Surrogate family for sessions that do not name one.
+    pub default_model: SurrogateSpec,
+    /// Base seed; per-session seeds derive from it and are checkpointed, so
+    /// restarts (even with a different base seed) keep existing sessions'
+    /// streams.
+    pub seed: u64,
+    /// Bound on resident live sessions before LRU eviction kicks in.
+    pub max_live: usize,
+    /// Per-request deadline.
+    pub deadline: Duration,
+    /// Checkpoint cadence in observations. `1` (the default) gives the
+    /// replied-⇒-durable guarantee; larger values trade a bounded window of
+    /// acknowledged-but-volatile observations for fewer writes under load.
+    pub checkpoint_every: usize,
+}
+
+impl ServeConfig {
+    /// A default-configured engine rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            dir: dir.into(),
+            default_model: SurrogateSpec::default(),
+            seed: 0,
+            max_live: DEFAULT_MAX_LIVE,
+            deadline: DEFAULT_DEADLINE,
+            checkpoint_every: 1,
+        }
+    }
+}
+
+/// What the transport loop should do after writing the reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep reading requests.
+    Continue,
+    /// Close this connection (`quit`).
+    CloseConnection,
+    /// Stop the whole daemon (`shutdown`).
+    ShutdownDaemon,
+}
+
+/// One handled request: the reply line (if any) and the follow-up action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Reply line without trailing newline; `None` for blank input.
+    pub reply: Option<String>,
+    /// Transport follow-up.
+    pub action: Action,
+}
+
+impl Response {
+    fn text(reply: String, action: Action) -> Self {
+        Response {
+            reply: Some(reply),
+            action,
+        }
+    }
+}
+
+/// Per-connection state: which session the connection is talking to.
+#[derive(Debug, Clone, Default)]
+pub struct ConnState {
+    current: Option<String>,
+}
+
+impl ConnState {
+    /// A fresh connection attached to nothing.
+    pub fn new() -> Self {
+        ConnState::default()
+    }
+
+    /// The attached session id, if any.
+    pub fn current(&self) -> Option<&str> {
+        self.current.as_deref()
+    }
+}
+
+#[derive(Debug)]
+struct LiveEntry {
+    session: TuningSession,
+    last_touch: u64,
+    dirty: usize,
+}
+
+/// The daemon's core: a bounded table of live sessions over a checkpoint
+/// directory.
+#[derive(Debug)]
+pub struct Engine {
+    config: ServeConfig,
+    live: BTreeMap<String, LiveEntry>,
+    clock: u64,
+    next_id: u64,
+    busy_streak: u32,
+}
+
+impl Engine {
+    /// Opens (creating if necessary) the serve directory and scans existing
+    /// checkpoints so new session ids never collide with old ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the directory cannot be created or scanned.
+    pub fn open(config: ServeConfig) -> Result<Engine, String> {
+        let sessions = config.dir.join(SESSIONS_DIR);
+        std::fs::create_dir_all(&sessions)
+            .map_err(|e| format!("cannot create {}: {e}", sessions.display()))?;
+        let mut next_id = 0u64;
+        let entries = std::fs::read_dir(&sessions)
+            .map_err(|e| format!("cannot scan {}: {e}", sessions.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot scan {}: {e}", sessions.display()))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(n) = name
+                .strip_prefix('s')
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .filter(|digits| digits.len() == 6)
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                next_id = next_id.max(n + 1);
+            }
+        }
+        Ok(Engine {
+            config,
+            live: BTreeMap::new(),
+            clock: 0,
+            next_id,
+            busy_streak: 0,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of currently resident live sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.live.len()
+    }
+
+    fn sessions_dir(&self) -> PathBuf {
+        self.config.dir.join(SESSIONS_DIR)
+    }
+
+    fn session_path(&self, id: &str) -> PathBuf {
+        self.sessions_dir().join(format!("{id}.json"))
+    }
+
+    /// Handles one raw input line and returns the reply plus transport
+    /// action. Never panics: parsing is total and dispatch runs under
+    /// `catch_unwind`.
+    pub fn handle_line(&mut self, conn: &mut ConnState, line: &str) -> Response {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Response {
+                reply: None,
+                action: Action::Continue,
+            };
+        }
+        if line.len() > MAX_LINE_BYTES {
+            return Response::text(
+                ErrReply::new(code::PARSE, format!("line exceeds {MAX_LINE_BYTES} bytes")).render(),
+                Action::Continue,
+            );
+        }
+        let request = match protocol::parse_request(trimmed) {
+            Ok(request) => request,
+            Err(e) => return Response::text(e.render(), Action::Continue),
+        };
+        let started = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| self.dispatch(conn, &request, started))) {
+            Ok(Ok((reply, action))) => Response::text(reply, action),
+            Ok(Err(e)) => Response::text(e.render(), Action::Continue),
+            Err(payload) => {
+                // The live state the panicking request touched is suspect;
+                // detach it. The on-disk checkpoint is intact (mutations
+                // checkpoint before they apply), so a re-attach restores
+                // the session to its last durable state.
+                if let Some(id) = conn.current.take() {
+                    self.live.remove(&id);
+                }
+                Response::text(
+                    ErrReply::new(
+                        code::PANIC,
+                        format!(
+                            "request panicked ({}); session detached, re-attach to restore it",
+                            sanitize(&panic_message(payload.as_ref()))
+                        ),
+                    )
+                    .render(),
+                    Action::Continue,
+                )
+            }
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        conn: &mut ConnState,
+        request: &Request,
+        started: Instant,
+    ) -> Result<(String, Action), ErrReply> {
+        // The chaos plane's panic site fires before any mutation, so an
+        // injected panic is always clean: reply `err panic`, retry, heal.
+        if inject(FaultSite::UnitPanic) {
+            panic!("chaos: injected request panic");
+        }
+        self.clock += 1;
+        let deadline = self.config.deadline;
+        let over_deadline = || started.elapsed() > deadline;
+        let deadline_err = || {
+            ErrReply::new(
+                code::DEADLINE,
+                format!("request exceeded its {}ms deadline", deadline.as_millis()),
+            )
+        };
+        match request {
+            Request::NewSession {
+                kernel,
+                space,
+                model,
+            } => {
+                let spec = match model {
+                    None => self.config.default_model,
+                    Some(name) => SurrogateSpec::from_name(name).ok_or_else(|| {
+                        ErrReply::new(
+                            code::BAD_MODEL,
+                            format!(
+                                "unknown model {:?} (known: {})",
+                                sanitize(name),
+                                SurrogateSpec::names().join(", ")
+                            ),
+                        )
+                    })?,
+                };
+                self.make_room()?;
+                let id = format!("s{:06}", self.next_id);
+                let seed = derive_seed2(self.config.seed, STREAM_SESSION_SEED, self.next_id);
+                let session = TuningSession::new(&id, kernel, space.clone(), spec, seed);
+                // Durable before acknowledged: the session exists on disk
+                // before the client ever learns its id.
+                checkpoint_session(&self.session_path(&id), &session)?;
+                let dim = space.dimension();
+                self.next_id += 1;
+                self.live.insert(
+                    id.clone(),
+                    LiveEntry {
+                        session,
+                        last_touch: self.clock,
+                        dirty: 0,
+                    },
+                );
+                conn.current = Some(id.clone());
+                Ok((format!("ok session {id} dim {dim}"), Action::Continue))
+            }
+            Request::Attach { id } => {
+                self.ensure_live(id)?;
+                conn.current = Some(id.clone());
+                let n = self.live[id].session.observations();
+                Ok((format!("ok attached {id} obs {n}"), Action::Continue))
+            }
+            Request::Suggest { count } => {
+                let id = attached(conn)?;
+                self.ensure_live(&id)?;
+                let entry = self.live.get_mut(&id).expect("ensured live");
+                let configs = entry.session.suggest(*count).map_err(model_err)?;
+                // Reads are side-effect free; shedding after the work is
+                // done still protects the *connection's* latency budget.
+                if over_deadline() {
+                    return Err(deadline_err());
+                }
+                let mut reply = String::from("ok suggest");
+                for c in &configs {
+                    reply.push(' ');
+                    reply.push_str(&format_config(c));
+                }
+                Ok((reply, Action::Continue))
+            }
+            Request::Observe { config, cost } => {
+                let id = attached(conn)?;
+                self.ensure_live(&id)?;
+                // Validate everything and check the deadline *before* the
+                // mutation: past this point the request always commits or
+                // rolls back, never half-happens.
+                self.live[&id]
+                    .session
+                    .space()
+                    .validate(config)
+                    .map_err(|e| ErrReply::new(code::BAD_CONFIG, e.to_string()))?;
+                if over_deadline() {
+                    return Err(deadline_err());
+                }
+                let path = self.session_path(&id);
+                let cadence = self.config.checkpoint_every.max(1);
+                let entry = self.live.get_mut(&id).expect("ensured live");
+                entry.session.record(config.clone(), *cost);
+                entry.dirty += 1;
+                if entry.dirty >= cadence {
+                    if let Err(e) = checkpoint_session(&path, &entry.session) {
+                        entry.session.unrecord();
+                        entry.dirty -= 1;
+                        return Err(e);
+                    }
+                    entry.dirty = 0;
+                }
+                if let Err(model_failure) = entry.session.apply_last() {
+                    // The model rejected the observation after it became
+                    // durable: roll the log back on disk too, then rebuild
+                    // the surrogate from the (restored) log so memory and
+                    // disk agree again. If even that fails, drop the live
+                    // entry — the next attach replays from the checkpoint.
+                    entry.session.unrecord();
+                    let restore = checkpoint_session(&path, &entry.session)
+                        .and_then(|_| entry.session.rebuild().map_err(model_err));
+                    if restore.is_err() {
+                        self.live.remove(&id);
+                    }
+                    return Err(model_err(model_failure));
+                }
+                let n = entry.session.observations();
+                Ok((format!("ok observed {n}"), Action::Continue))
+            }
+            Request::Best => {
+                let id = attached(conn)?;
+                self.ensure_live(&id)?;
+                let entry = &self.live[&id];
+                match entry.session.best() {
+                    Some((config, cost)) => Ok((
+                        format!("ok best {} {}", format_config(config), format_cost(cost)),
+                        Action::Continue,
+                    )),
+                    None => Err(ErrReply::new(code::EMPTY, "no observations recorded yet")),
+                }
+            }
+            Request::Checkpoint => {
+                let id = attached(conn)?;
+                self.ensure_live(&id)?;
+                let path = self.session_path(&id);
+                let entry = self.live.get_mut(&id).expect("ensured live");
+                checkpoint_session(&path, &entry.session)?;
+                entry.dirty = 0;
+                Ok((
+                    format!("ok checkpoint {SESSIONS_DIR}/{id}.json"),
+                    Action::Continue,
+                ))
+            }
+            Request::Sessions => {
+                let mut ids: std::collections::BTreeSet<String> =
+                    self.live.keys().cloned().collect();
+                let entries = std::fs::read_dir(self.sessions_dir())
+                    .map_err(|e| ErrReply::new(code::IO, format!("scanning sessions: {e}")))?;
+                for entry in entries {
+                    let entry = entry
+                        .map_err(|e| ErrReply::new(code::IO, format!("scanning sessions: {e}")))?;
+                    if let Some(name) = entry.file_name().to_str() {
+                        if let Some(id) = name.strip_suffix(".json") {
+                            if protocol::parse_session_id(id).is_ok() {
+                                ids.insert(id.to_string());
+                            }
+                        }
+                    }
+                }
+                let mut reply = String::from("ok sessions");
+                for id in ids {
+                    reply.push(' ');
+                    reply.push_str(&id);
+                }
+                Ok((reply, Action::Continue))
+            }
+            Request::Quit => {
+                self.flush_all();
+                Ok(("ok bye".to_string(), Action::CloseConnection))
+            }
+            Request::Shutdown => {
+                self.flush_all();
+                Ok(("ok shutdown".to_string(), Action::ShutdownDaemon))
+            }
+        }
+    }
+
+    /// Makes `id` resident: a no-op when live, otherwise a checkpoint
+    /// restore (with LRU eviction to make room).
+    fn ensure_live(&mut self, id: &str) -> Result<(), ErrReply> {
+        if !self.live.contains_key(id) {
+            let path = self.session_path(id);
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    return Err(ErrReply::new(
+                        code::UNKNOWN_SESSION,
+                        format!("no session {id} (see `sessions`)"),
+                    ));
+                }
+                Err(e) => return Err(ErrReply::new(code::IO, format!("reading {id}: {e}"))),
+            };
+            let session = match TuningSession::from_checkpoint_str(&text) {
+                Ok(session) => session,
+                Err(e) if e.code == code::CORRUPT => {
+                    // Preserve the evidence and report structured
+                    // corruption; the id is gone until re-created.
+                    quarantine_file(&path).map_err(|qe| {
+                        ErrReply::new(code::IO, format!("quarantining {id}: {qe}"))
+                    })?;
+                    return Err(ErrReply::new(
+                        code::CORRUPT,
+                        format!("checkpoint of {id} was damaged and quarantined to {id}.json.corrupt: {}", e.msg),
+                    ));
+                }
+                Err(e) => return Err(e),
+            };
+            if session.id() != id {
+                quarantine_file(&path)
+                    .map_err(|qe| ErrReply::new(code::IO, format!("quarantining {id}: {qe}")))?;
+                return Err(ErrReply::new(
+                    code::CORRUPT,
+                    format!("checkpoint of {id} claims id {}; quarantined", session.id()),
+                ));
+            }
+            self.make_room()?;
+            self.live.insert(
+                id.to_string(),
+                LiveEntry {
+                    session,
+                    last_touch: self.clock,
+                    dirty: 0,
+                },
+            );
+        }
+        let entry = self.live.get_mut(id).expect("just inserted or present");
+        entry.last_touch = self.clock;
+        Ok(())
+    }
+
+    /// Evicts least-recently-used sessions until a slot is free, flushing
+    /// dirty ones to checkpoint first. Failure to evict is the `busy`
+    /// shedding point.
+    fn make_room(&mut self) -> Result<(), ErrReply> {
+        let cap = self.config.max_live.max(1);
+        while self.live.len() >= cap {
+            let victim = self
+                .live
+                .iter()
+                .min_by_key(|(id, entry)| (entry.last_touch, (*id).clone()))
+                .map(|(id, _)| id.clone())
+                .expect("table is non-empty when at capacity");
+            let dirty = self.live[&victim].dirty > 0;
+            if dirty {
+                let path = self.session_path(&victim);
+                if let Err(e) = checkpoint_session(&path, &self.live[&victim].session) {
+                    self.busy_streak = self.busy_streak.saturating_add(1);
+                    let hint = 50u64 << (self.busy_streak - 1).min(5);
+                    return Err(ErrReply::new(
+                        code::BUSY,
+                        format!(
+                            "retry-after-ms {hint} (live-session table full and evicting {victim} failed: {})",
+                            e.msg
+                        ),
+                    ));
+                }
+            }
+            self.live.remove(&victim);
+        }
+        self.busy_streak = 0;
+        Ok(())
+    }
+
+    /// Checkpoints every dirty live session (shutdown/EOF path), returning
+    /// how many flushes failed. With the default cadence of 1 nothing is
+    /// ever dirty here.
+    pub fn flush_all(&mut self) -> usize {
+        let mut failures = 0;
+        let ids: Vec<String> = self.live.keys().cloned().collect();
+        for id in ids {
+            if self.live[&id].dirty > 0 {
+                let path = self.session_path(&id);
+                match checkpoint_session(&path, &self.live[&id].session) {
+                    Ok(()) => self.live.get_mut(&id).expect("present").dirty = 0,
+                    Err(_) => failures += 1,
+                }
+            }
+        }
+        failures
+    }
+}
+
+fn attached(conn: &ConnState) -> Result<String, ErrReply> {
+    conn.current.clone().ok_or_else(|| {
+        ErrReply::new(
+            code::NO_SESSION,
+            "no session attached (newsession or attach first)",
+        )
+    })
+}
+
+fn model_err(e: alic_model::ModelError) -> ErrReply {
+    ErrReply::new(code::MODEL, e.to_string())
+}
+
+/// Writes one session checkpoint through the ledger's atomic, retrying,
+/// read-back-verifying writer.
+///
+/// Verification matters more here than in the campaign ledger: a torn unit
+/// record heals by deterministic re-execution, but a session checkpoint is
+/// the only copy of client-provided observations — a torn write that went
+/// undetected would surface later as quarantined (lost) state. The
+/// verified writer turns it into a structured, retryable error instead.
+fn checkpoint_session(path: &Path, session: &TuningSession) -> Result<(), ErrReply> {
+    let text = session.to_checkpoint_string()?;
+    write_verified(path, &text)
+        .map_err(|e| ErrReply::new(code::IO, format!("checkpointing {}: {e}", session.id())))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_engine(label: &str) -> (Engine, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "alic-serve-engine-{label}-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = ServeConfig::new(&dir);
+        config.default_model = SurrogateSpec::from_name("gp").unwrap();
+        (Engine::open(config).unwrap(), dir)
+    }
+
+    fn ok(engine: &mut Engine, conn: &mut ConnState, line: &str) -> String {
+        let response = engine.handle_line(conn, line);
+        let reply = response.reply.expect("non-empty line yields a reply");
+        assert!(reply.starts_with("ok "), "{line:?} -> {reply}");
+        reply
+    }
+
+    fn err(engine: &mut Engine, conn: &mut ConnState, line: &str) -> String {
+        let reply = engine.handle_line(conn, line).reply.unwrap();
+        assert!(reply.starts_with("err "), "{line:?} -> {reply}");
+        reply
+    }
+
+    #[test]
+    fn full_session_lifecycle_over_the_wire() {
+        let (mut engine, dir) = temp_engine("lifecycle");
+        let mut conn = ConnState::new();
+        let reply = ok(
+            &mut engine,
+            &mut conn,
+            "newsession mvt u:unroll:1:9,t:cache-tile:0:5",
+        );
+        assert_eq!(reply, "ok session s000000 dim 2");
+        assert!(dir.join(SESSIONS_DIR).join("s000000.json").exists());
+
+        let suggest = ok(&mut engine, &mut conn, "suggest 2");
+        assert_eq!(suggest.split_whitespace().count(), 4);
+        ok(&mut engine, &mut conn, "observe 3,2 1.5");
+        ok(&mut engine, &mut conn, "observe 4,1 1.25");
+        assert_eq!(ok(&mut engine, &mut conn, "best"), "ok best 4,1 1.25");
+        assert_eq!(
+            ok(&mut engine, &mut conn, "checkpoint"),
+            "ok checkpoint sessions/s000000.json"
+        );
+        assert_eq!(
+            ok(&mut engine, &mut conn, "sessions"),
+            "ok sessions s000000"
+        );
+        let response = engine.handle_line(&mut conn, "quit");
+        assert_eq!(response.action, Action::CloseConnection);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn structured_errors_for_misuse() {
+        let (mut engine, dir) = temp_engine("errors");
+        let mut conn = ConnState::new();
+        assert!(err(&mut engine, &mut conn, "best").starts_with("err no-session"));
+        assert!(err(&mut engine, &mut conn, "attach s000009").starts_with("err unknown-session"));
+        ok(&mut engine, &mut conn, "newsession mvt u:unroll:1:9");
+        assert!(err(&mut engine, &mut conn, "best").starts_with("err empty"));
+        assert!(err(&mut engine, &mut conn, "observe 99 1.0").starts_with("err bad-config"));
+        assert!(err(&mut engine, &mut conn, "observe 3,3 1.0").starts_with("err bad-config"));
+        assert!(
+            err(&mut engine, &mut conn, "newsession mvt u:unroll bogusmodel")
+                .starts_with("err bad-model")
+        );
+        assert!(engine.handle_line(&mut conn, "   ").reply.is_none());
+        let long = "x".repeat(MAX_LINE_BYTES + 1);
+        assert!(err(&mut engine, &mut conn, &long).starts_with("err "));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_resumes_sessions_with_identical_reads() {
+        let (mut engine, dir) = temp_engine("restart");
+        let mut conn = ConnState::new();
+        ok(
+            &mut engine,
+            &mut conn,
+            "newsession mvt u:unroll:1:20,t:cache-tile:0:6 gp",
+        );
+        for line in [
+            "observe 3,2 4.0",
+            "observe 9,1 3.1",
+            "observe 14,5 2.8",
+            "observe 6,3 3.4",
+            "observe 18,0 2.9",
+        ] {
+            ok(&mut engine, &mut conn, line);
+        }
+        let best = ok(&mut engine, &mut conn, "best");
+        let suggest = ok(&mut engine, &mut conn, "suggest 3");
+        // Simulated SIGKILL: drop the engine with no shutdown handshake.
+        drop(engine);
+
+        let mut engine = Engine::open(ServeConfig::new(&dir)).unwrap();
+        let mut conn = ConnState::new();
+        assert_eq!(
+            ok(&mut engine, &mut conn, "attach s000000"),
+            "ok attached s000000 obs 5"
+        );
+        assert_eq!(ok(&mut engine, &mut conn, "best"), best);
+        assert_eq!(ok(&mut engine, &mut conn, "suggest 3"), suggest);
+        // Id allocation continues past restored sessions.
+        let reply = ok(&mut engine, &mut conn, "newsession mvt u:unroll");
+        assert!(reply.starts_with("ok session s000001 "), "{reply}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lru_eviction_bounds_live_sessions_transparently() {
+        let (mut engine, dir) = temp_engine("lru");
+        engine.config.max_live = 2;
+        let mut conn = ConnState::new();
+        ok(&mut engine, &mut conn, "newsession k0 u:unroll:1:9");
+        ok(&mut engine, &mut conn, "observe 4 1.0");
+        ok(&mut engine, &mut conn, "newsession k1 u:unroll:1:9");
+        ok(&mut engine, &mut conn, "newsession k2 u:unroll:1:9");
+        assert!(engine.live_sessions() <= 2);
+        // The evicted session transparently reloads from its checkpoint.
+        assert_eq!(
+            ok(&mut engine, &mut conn, "attach s000000"),
+            "ok attached s000000 obs 1"
+        );
+        assert_eq!(ok(&mut engine, &mut conn, "best"), "ok best 4 1.0");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_quarantined_with_structured_errors() {
+        let (mut engine, dir) = temp_engine("corrupt");
+        let mut conn = ConnState::new();
+        ok(&mut engine, &mut conn, "newsession mvt u:unroll:1:9");
+        drop(engine);
+        let path = dir.join(SESSIONS_DIR).join("s000000.json");
+        std::fs::write(&path, "{torn").unwrap();
+
+        let mut engine = Engine::open(ServeConfig::new(&dir)).unwrap();
+        let mut conn = ConnState::new();
+        let reply = err(&mut engine, &mut conn, "attach s000000");
+        assert!(reply.starts_with("err corrupt"), "{reply}");
+        assert!(!path.exists());
+        assert!(dir.join(SESSIONS_DIR).join("s000000.json.corrupt").exists());
+        // The damaged id no longer resolves; the evidence is preserved.
+        assert!(err(&mut engine, &mut conn, "attach s000000").starts_with("err unknown-session"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_deadline_sheds_requests_without_mutating() {
+        let (mut engine, dir) = temp_engine("deadline");
+        let mut conn = ConnState::new();
+        ok(&mut engine, &mut conn, "newsession mvt u:unroll:1:9");
+        engine.config.deadline = Duration::ZERO;
+        assert!(err(&mut engine, &mut conn, "observe 4 1.0").starts_with("err deadline"));
+        assert!(err(&mut engine, &mut conn, "suggest").starts_with("err deadline"));
+        engine.config.deadline = DEFAULT_DEADLINE;
+        // The shed observe left no trace.
+        assert!(err(&mut engine, &mut conn, "best").starts_with("err empty"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

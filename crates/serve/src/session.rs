@@ -1,0 +1,541 @@
+//! Tuning sessions: a live incremental surrogate plus its durable event log.
+//!
+//! A session never serializes model internals. Its checkpoint is an *event
+//! log* — (space, model family, seed, observations in arrival order) — and
+//! restoring replays that log through the same deterministic fit/update
+//! path the live session used. The PR 3/5 determinism contracts
+//! (incremental update ≡ cold refit, thread-count-independent fits) are
+//! what make the replayed surrogate **bit-identical** to the one that was
+//! killed, which in turn makes the read-only requests (`suggest`, `best`)
+//! — pure functions of the log — byte-identical across a restart.
+
+use std::collections::HashSet;
+
+use alic_data::io::JsonValue;
+use alic_model::spec::SurrogateSpec;
+use alic_model::traits::ActiveSurrogate;
+use alic_sim::space::{Configuration, ParamKind, ParamSpec, ParameterSpace};
+use alic_stats::rng::seeded_substream;
+
+use crate::protocol::{code, sanitize, ErrReply};
+
+/// Schema tag of a session checkpoint file.
+pub const SESSION_SCHEMA: &str = "alic-serve-session/v1";
+
+/// Observations required before the surrogate is first fitted; until then
+/// suggestions are model-free random exploration (the learner's warmup).
+pub const FIT_MIN: usize = 4;
+
+/// Candidate-pool size drawn for each `suggest` (grows with the batch).
+pub const SUGGEST_POOL: usize = 64;
+
+/// How many of the most recent observations anchor the ALC reference set.
+pub const REFERENCE_WINDOW: usize = 32;
+
+/// RNG stream label separating suggest draws from every other consumer of
+/// the session seed.
+const STREAM_SUGGEST: u64 = 0x5347;
+
+/// One tuning session: identity, space, model family, and the observation
+/// log that *is* its durable state.
+#[derive(Debug)]
+pub struct TuningSession {
+    id: String,
+    kernel: String,
+    space: ParameterSpace,
+    spec: SurrogateSpec,
+    seed: u64,
+    log: Vec<(Configuration, f64)>,
+    model: Option<Box<dyn ActiveSurrogate + Send>>,
+}
+
+impl TuningSession {
+    /// Creates an empty session.
+    pub fn new(
+        id: impl Into<String>,
+        kernel: impl Into<String>,
+        space: ParameterSpace,
+        spec: SurrogateSpec,
+        seed: u64,
+    ) -> Self {
+        TuningSession {
+            id: id.into(),
+            kernel: kernel.into(),
+            space,
+            spec,
+            seed,
+            log: Vec::new(),
+            model: None,
+        }
+    }
+
+    /// The session identifier (`s000042`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The kernel name the session tunes.
+    pub fn kernel(&self) -> &str {
+        &self.kernel
+    }
+
+    /// The tunable space.
+    pub fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// The surrogate family.
+    pub fn spec(&self) -> SurrogateSpec {
+        self.spec
+    }
+
+    /// Number of recorded observations.
+    pub fn observations(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The observation log, in arrival order.
+    pub fn log(&self) -> &[(Configuration, f64)] {
+        &self.log
+    }
+
+    /// Model-input features of a configuration: each parameter min-max
+    /// normalized to `[0, 1]` (a pure function of the space, so live and
+    /// replayed sessions featurize identically).
+    pub fn features(&self, config: &Configuration) -> Vec<f64> {
+        config
+            .values()
+            .iter()
+            .zip(self.space.params())
+            .map(|(&v, p)| {
+                if p.max == p.min {
+                    0.0
+                } else {
+                    (v as f64 - p.min as f64) / (p.max as f64 - p.min as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Appends one observation to the log **without** touching the model —
+    /// the engine checkpoints between [`record`](Self::record) and
+    /// [`apply_last`](Self::apply_last) so a reply is only ever written for
+    /// a durable observation.
+    pub fn record(&mut self, config: Configuration, cost: f64) {
+        self.log.push((config, cost));
+    }
+
+    /// Rolls back the most recent [`record`](Self::record) (checkpoint or
+    /// model failure: the observation must not survive in memory either).
+    pub fn unrecord(&mut self) {
+        self.log.pop();
+    }
+
+    /// Folds the most recently recorded observation into the surrogate:
+    /// nothing below [`FIT_MIN`] observations, an initial fit exactly at
+    /// [`FIT_MIN`], an incremental update after.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors (the caller rolls the observation back).
+    pub fn apply_last(&mut self) -> alic_model::Result<()> {
+        let n = self.log.len();
+        if n < FIT_MIN {
+            return Ok(());
+        }
+        if n == FIT_MIN || self.model.is_none() {
+            return self.rebuild();
+        }
+        let (config, cost) = self.log.last().expect("log is non-empty when n >= FIT_MIN");
+        let x = {
+            let config = config.clone();
+            let cost = *cost;
+            let x = self.features(&config);
+            (x, cost)
+        };
+        let model = self.model.as_mut().expect("checked above");
+        model.update(&x.0, x.1)
+    }
+
+    /// Rebuilds the surrogate by replaying the log through the exact
+    /// sequence a live session performs: fit on the first [`FIT_MIN`]
+    /// observations, then one incremental update per later observation.
+    ///
+    /// # Errors
+    ///
+    /// Leaves the model absent and propagates the first model error.
+    pub fn rebuild(&mut self) -> alic_model::Result<()> {
+        self.model = None;
+        if self.log.len() < FIT_MIN {
+            return Ok(());
+        }
+        let rows: Vec<Vec<f64>> = self.log.iter().map(|(c, _)| self.features(c)).collect();
+        let views: Vec<&[f64]> = rows[..FIT_MIN].iter().map(|r| r.as_slice()).collect();
+        let ys: Vec<f64> = self.log[..FIT_MIN].iter().map(|(_, y)| *y).collect();
+        let mut model = self.spec.build(self.seed);
+        model.fit(&views, &ys)?;
+        for (row, (_, y)) in rows[FIT_MIN..].iter().zip(&self.log[FIT_MIN..]) {
+            model.update(row, *y)?;
+        }
+        self.model = Some(model);
+        Ok(())
+    }
+
+    /// Proposes `count` candidate configurations.
+    ///
+    /// This is a **pure function of durable state**: the candidate pool is
+    /// drawn from the RNG substream keyed by `(session seed, observation
+    /// count)`, already-observed configurations are filtered out, and with
+    /// a fitted model candidates are ranked by their ALC score against the
+    /// most recent [`REFERENCE_WINDOW`] observations (ties break on draw
+    /// order). Identical log ⇒ identical reply — before or after a daemon
+    /// restart, which is the restart-resume guarantee for reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model scoring errors.
+    pub fn suggest(&self, count: usize) -> alic_model::Result<Vec<Configuration>> {
+        let mut rng = seeded_substream(self.seed, STREAM_SUGGEST, self.log.len() as u64);
+        let pool = self
+            .space
+            .sample_distinct(&mut rng, SUGGEST_POOL.max(4 * count));
+        let seen: HashSet<&Configuration> = self.log.iter().map(|(c, _)| c).collect();
+        let fresh: Vec<&Configuration> = pool.iter().filter(|c| !seen.contains(c)).collect();
+        // A tiny, fully observed space still deserves an answer: fall back
+        // to re-suggesting observed points rather than replying with fewer
+        // than asked (or nothing).
+        let candidates: Vec<&Configuration> = if fresh.is_empty() {
+            pool.iter().collect()
+        } else {
+            fresh
+        };
+        let take = count.min(candidates.len());
+        let model = match &self.model {
+            None => return Ok(candidates[..take].iter().map(|c| (*c).clone()).collect()),
+            Some(m) => m,
+        };
+        let rows: Vec<Vec<f64>> = candidates.iter().map(|c| self.features(c)).collect();
+        let views: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let tail = self.log.len().saturating_sub(REFERENCE_WINDOW);
+        let ref_rows: Vec<Vec<f64>> = self.log[tail..]
+            .iter()
+            .map(|(c, _)| self.features(c))
+            .collect();
+        let ref_views: Vec<&[f64]> = ref_rows.iter().map(|r| r.as_slice()).collect();
+        let scores = model.alc_scores(&views, &ref_views)?;
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        Ok(order[..take]
+            .iter()
+            .map(|&i| candidates[i].clone())
+            .collect())
+    }
+
+    /// The lowest-cost observation so far (earliest wins ties), or `None`
+    /// for an empty session.
+    pub fn best(&self) -> Option<(&Configuration, f64)> {
+        let mut best: Option<(&Configuration, f64)> = None;
+        for (config, cost) in &self.log {
+            if best.is_none_or(|(_, b)| *cost < b) {
+                best = Some((config, *cost));
+            }
+        }
+        best
+    }
+
+    /// Serializes the session checkpoint (canonical JSON + newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io` error reply if serialization fails (a non-finite
+    /// cost cannot enter the log, so this does not happen in practice).
+    pub fn to_checkpoint_string(&self) -> Result<String, ErrReply> {
+        let params: Vec<JsonValue> = self
+            .space
+            .params()
+            .iter()
+            .map(|p| {
+                JsonValue::Object(vec![
+                    ("name".to_string(), JsonValue::String(p.name.clone())),
+                    (
+                        "kind".to_string(),
+                        JsonValue::String(p.kind.label().to_string()),
+                    ),
+                    ("min".to_string(), JsonValue::Number(p.min as f64)),
+                    ("max".to_string(), JsonValue::Number(p.max as f64)),
+                ])
+            })
+            .collect();
+        let observations: Vec<JsonValue> = self
+            .log
+            .iter()
+            .map(|(c, y)| {
+                JsonValue::Array(vec![
+                    JsonValue::Array(
+                        c.values()
+                            .iter()
+                            .map(|&v| JsonValue::Number(v as f64))
+                            .collect(),
+                    ),
+                    JsonValue::Number(*y),
+                ])
+            })
+            .collect();
+        let doc = JsonValue::Object(vec![
+            (
+                "schema".to_string(),
+                JsonValue::String(SESSION_SCHEMA.to_string()),
+            ),
+            ("id".to_string(), JsonValue::String(self.id.clone())),
+            ("kernel".to_string(), JsonValue::String(self.kernel.clone())),
+            (
+                "model".to_string(),
+                JsonValue::String(self.spec.name().to_string()),
+            ),
+            // Seeds use the full u64 range; hex keeps them exact where a
+            // JSON number (f64) would round above 2^53.
+            (
+                "seed".to_string(),
+                JsonValue::String(format!("{:016x}", self.seed)),
+            ),
+            ("space".to_string(), JsonValue::Array(params)),
+            ("observations".to_string(), JsonValue::Array(observations)),
+        ]);
+        doc.to_json_string()
+            .map(|s| s + "\n")
+            .map_err(|e| ErrReply::new(code::IO, format!("serializing session {}: {e}", self.id)))
+    }
+
+    /// Restores a session from checkpoint text and replays its log into a
+    /// rebuilt surrogate.
+    ///
+    /// # Errors
+    ///
+    /// `corrupt` for anything structurally wrong with the checkpoint (the
+    /// engine quarantines the file), `model` when the deterministic replay
+    /// itself fails (e.g. an injected jitter-ladder exhaustion) — the file
+    /// is fine and a retry may succeed.
+    pub fn from_checkpoint_str(text: &str) -> Result<TuningSession, ErrReply> {
+        let corrupt = |detail: String| ErrReply::new(code::CORRUPT, detail);
+        let doc =
+            JsonValue::parse(text).map_err(|e| corrupt(format!("unparseable checkpoint: {e}")))?;
+        let mut session = Self::decode(&doc).map_err(corrupt)?;
+        session.rebuild().map_err(|e| {
+            ErrReply::new(
+                code::MODEL,
+                format!(
+                    "replaying session {}: {}",
+                    session.id,
+                    sanitize(&e.to_string())
+                ),
+            )
+        })?;
+        Ok(session)
+    }
+
+    fn decode(doc: &JsonValue) -> Result<TuningSession, String> {
+        let field_str = |name: &str| -> Result<String, String> {
+            Ok(doc
+                .field(name)
+                .and_then(|v| v.as_str())
+                .map_err(|e| format!("field {name}: {e}"))?
+                .to_string())
+        };
+        let schema = field_str("schema")?;
+        if schema != SESSION_SCHEMA {
+            return Err(format!("schema {schema:?} (expected {SESSION_SCHEMA:?})"));
+        }
+        let id = field_str("id")?;
+        let kernel = field_str("kernel")?;
+        let model_name = field_str("model")?;
+        let spec = SurrogateSpec::from_name(&model_name)
+            .ok_or_else(|| format!("unknown model family {model_name:?}"))?;
+        let seed_hex = field_str("seed")?;
+        let seed = u64::from_str_radix(&seed_hex, 16).map_err(|_| "seed is not hex".to_string())?;
+        let mut params = Vec::new();
+        for p in doc
+            .field("space")
+            .and_then(|v| v.as_array())
+            .map_err(|e| format!("field space: {e}"))?
+        {
+            let name = p
+                .field("name")
+                .and_then(|v| v.as_str())
+                .map_err(|e| format!("space entry: {e}"))?
+                .to_string();
+            let kind_label = p
+                .field("kind")
+                .and_then(|v| v.as_str())
+                .map_err(|e| format!("space entry: {e}"))?;
+            let kind = match kind_label {
+                "unroll" => ParamKind::Unroll,
+                "cache-tile" => ParamKind::CacheTile,
+                "register-tile" => ParamKind::RegisterTile,
+                other => return Err(format!("unknown parameter kind {other:?}")),
+            };
+            let bound = |field: &str| -> Result<u32, String> {
+                let n = p
+                    .field(field)
+                    .and_then(|v| v.as_u64())
+                    .map_err(|e| format!("space entry {name:?}: {e}"))?;
+                u32::try_from(n).map_err(|_| format!("space entry {name:?}: {field} out of range"))
+            };
+            let (min, max) = (bound("min")?, bound("max")?);
+            if min > max {
+                return Err(format!("space entry {name:?}: empty range {min}..={max}"));
+            }
+            params.push(ParamSpec::new(name, kind, min, max));
+        }
+        let space = ParameterSpace::new(params).map_err(|e| format!("space: {e}"))?;
+        let mut session = TuningSession::new(id, kernel, space, spec, seed);
+        for entry in doc
+            .field("observations")
+            .and_then(|v| v.as_array())
+            .map_err(|e| format!("field observations: {e}"))?
+        {
+            let pair = entry.as_array().map_err(|e| format!("observation: {e}"))?;
+            if pair.len() != 2 {
+                return Err("observation entries are [values, cost] pairs".to_string());
+            }
+            let mut values = Vec::new();
+            for v in pair[0]
+                .as_array()
+                .map_err(|e| format!("observation: {e}"))?
+            {
+                let n = v.as_u64().map_err(|e| format!("observation value: {e}"))?;
+                values.push(
+                    u32::try_from(n).map_err(|_| "observation value out of range".to_string())?,
+                );
+            }
+            let config = Configuration::new(values);
+            session
+                .space
+                .validate(&config)
+                .map_err(|e| format!("observation outside the space: {e}"))?;
+            let cost = pair[1]
+                .as_f64()
+                .map_err(|e| format!("observation cost: {e}"))?;
+            if !cost.is_finite() {
+                return Err("observation cost is not finite".to_string());
+            }
+            session.log.push((config, cost));
+        }
+        Ok(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_session(spec: SurrogateSpec) -> TuningSession {
+        let space = ParameterSpace::new(vec![
+            ParamSpec::new("u1", ParamKind::Unroll, 1, 12),
+            ParamSpec::new("t1", ParamKind::CacheTile, 0, 6),
+        ])
+        .unwrap();
+        TuningSession::new("s000000", "mvt", space, spec, 42)
+    }
+
+    fn observe(session: &mut TuningSession, values: Vec<u32>, cost: f64) {
+        session.record(Configuration::new(values), cost);
+        session.apply_last().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        for spec in [
+            SurrogateSpec::from_name("dynatree").unwrap(),
+            SurrogateSpec::from_name("gp").unwrap(),
+            SurrogateSpec::from_name("mean").unwrap(),
+        ] {
+            let mut live = small_session(spec);
+            for (i, cost) in [4.0, 3.5, 3.8, 2.9, 3.1, 2.7].iter().enumerate() {
+                observe(&mut live, vec![1 + i as u32, (i % 7) as u32], *cost);
+            }
+            let text = live.to_checkpoint_string().unwrap();
+            let restored = TuningSession::from_checkpoint_str(&text).unwrap();
+            assert_eq!(restored.to_checkpoint_string().unwrap(), text);
+            assert_eq!(restored.observations(), live.observations());
+            // Replayed surrogate state is bit-identical: pure reads agree
+            // byte for byte.
+            for k in [1, 4] {
+                assert_eq!(
+                    live.suggest(k).unwrap(),
+                    restored.suggest(k).unwrap(),
+                    "{spec}: suggest({k}) diverged after restore"
+                );
+            }
+            assert_eq!(
+                live.best().map(|(c, y)| (c.clone(), y)),
+                restored.best().map(|(c, y)| (c.clone(), y))
+            );
+        }
+    }
+
+    #[test]
+    fn suggest_is_pure_and_avoids_observed_points() {
+        let mut s = small_session(SurrogateSpec::from_name("gp").unwrap());
+        for (i, cost) in [4.0, 3.5, 3.8, 2.9, 3.1].iter().enumerate() {
+            observe(&mut s, vec![1 + i as u32, (i % 7) as u32], *cost);
+        }
+        let a = s.suggest(3).unwrap();
+        let b = s.suggest(3).unwrap();
+        assert_eq!(a, b, "suggest must be idempotent between observations");
+        let seen: HashSet<&Configuration> = s.log().iter().map(|(c, _)| c).collect();
+        for c in &a {
+            assert!(!seen.contains(c), "suggested an already-observed point");
+        }
+        observe(&mut s, vec![9, 3], 2.5);
+        // New evidence may (and here does, by stream design) change the draw.
+        let c = s.suggest(3).unwrap();
+        assert_eq!(c, s.suggest(3).unwrap());
+    }
+
+    #[test]
+    fn best_prefers_lowest_cost_then_earliest() {
+        let mut s = small_session(SurrogateSpec::from_name("mean").unwrap());
+        s.record(Configuration::new(vec![2, 1]), 3.0);
+        s.record(Configuration::new(vec![3, 1]), 2.5);
+        s.record(Configuration::new(vec![4, 1]), 2.5);
+        let (config, cost) = s.best().unwrap();
+        assert_eq!((config.values(), cost), (&[3u32, 1u32][..], 2.5));
+        assert!(small_session(SurrogateSpec::Mean).best().is_none());
+    }
+
+    #[test]
+    fn damaged_checkpoints_are_structured_corruption_errors() {
+        let mut s = small_session(SurrogateSpec::from_name("mean").unwrap());
+        observe(&mut s, vec![2, 2], 1.0);
+        let healthy = s.to_checkpoint_string().unwrap();
+        for broken in [
+            "",
+            "{torn",
+            &healthy[..healthy.len() / 2],
+            "{\"schema\":\"bogus/v9\"}",
+        ] {
+            let err = TuningSession::from_checkpoint_str(broken).unwrap_err();
+            assert_eq!(err.code, code::CORRUPT, "{broken:?}: {}", err.render());
+        }
+    }
+
+    #[test]
+    fn rollback_keeps_log_and_model_consistent() {
+        let mut s = small_session(SurrogateSpec::from_name("gp").unwrap());
+        for (i, cost) in [4.0, 3.5, 3.8, 2.9].iter().enumerate() {
+            observe(&mut s, vec![1 + i as u32, i as u32], *cost);
+        }
+        let before = s.to_checkpoint_string().unwrap();
+        let suggestion = s.suggest(2).unwrap();
+        s.record(Configuration::new(vec![7, 3]), 2.0);
+        s.unrecord();
+        s.rebuild().unwrap();
+        assert_eq!(s.to_checkpoint_string().unwrap(), before);
+        assert_eq!(s.suggest(2).unwrap(), suggestion);
+    }
+}

@@ -7,7 +7,7 @@
 //!
 //! * a fixed set of [`FaultSite`]s — the places in the stack where faults
 //!   can be injected (ledger I/O, unit execution, evaluator observations,
-//!   GP factorization),
+//!   GP factorization, serve-daemon connections),
 //! * a [`FaultPlan`] describing, per site, an injection *rate* and an
 //!   optional *budget* (maximum number of injections), parseable from the
 //!   `ALIC_CHAOS=<seed>:<site>=<rate>[x<budget>],...` environment knob,
@@ -64,10 +64,17 @@ pub enum FaultSite {
     ObservationNan = 5,
     /// GP/SGP factorization exhausts its jitter ladder.
     JitterExhaustion = 6,
+    /// A serve connection drops mid-line: the line in flight is lost and the
+    /// peer sees EOF.
+    ConnDrop = 7,
+    /// A serve read tears: only a prefix of the line arrives before EOF.
+    ShortRead = 8,
+    /// A serve reply tears: only a prefix is written, then the socket errors.
+    TornReply = 9,
 }
 
 /// Number of distinct fault sites.
-pub const SITE_COUNT: usize = 7;
+pub const SITE_COUNT: usize = 10;
 
 impl FaultSite {
     /// All sites, in identifier order.
@@ -79,6 +86,9 @@ impl FaultSite {
         FaultSite::EvalError,
         FaultSite::ObservationNan,
         FaultSite::JitterExhaustion,
+        FaultSite::ConnDrop,
+        FaultSite::ShortRead,
+        FaultSite::TornReply,
     ];
 
     /// Stable index of this site (also its RNG substream label).
@@ -97,6 +107,9 @@ impl FaultSite {
             FaultSite::EvalError => "eval",
             FaultSite::ObservationNan => "nan",
             FaultSite::JitterExhaustion => "jitter",
+            FaultSite::ConnDrop => "conndrop",
+            FaultSite::ShortRead => "shortread",
+            FaultSite::TornReply => "tornreply",
         }
     }
 
@@ -478,6 +491,32 @@ mod tests {
             assert_eq!(FaultSite::from_name(site.name()), Some(site));
         }
         assert_eq!(FaultSite::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn connection_sites_have_stable_indices() {
+        // The discriminants key the RNG substreams; these pins catch an
+        // accidental reorder, which would silently change every fault
+        // pattern (and every chaos test baseline) at once.
+        assert_eq!(FaultSite::ConnDrop.index(), 7);
+        assert_eq!(FaultSite::ShortRead.index(), 8);
+        assert_eq!(FaultSite::TornReply.index(), 9);
+        assert_eq!(FaultSite::ALL.len(), SITE_COUNT);
+        let plan = FaultPlan::parse("3:conndrop=0.5x2,shortread=0.25,tornreply=1.0x1").unwrap();
+        assert_eq!(
+            plan.site(FaultSite::ConnDrop),
+            Some(SiteSpec {
+                rate: 0.5,
+                budget: Some(2)
+            })
+        );
+        assert_eq!(
+            plan.site(FaultSite::TornReply),
+            Some(SiteSpec {
+                rate: 1.0,
+                budget: Some(1)
+            })
+        );
     }
 
     #[test]

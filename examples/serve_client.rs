@@ -1,0 +1,86 @@
+//! A scripted `alic-serve` client session, in process.
+//!
+//! Drives the daemon's engine through the same line protocol a TCP or
+//! stdin client would speak: create a session on a SPAPT kernel's space,
+//! loop suggest → measure → observe against the simulated profiler, then
+//! SIGKILL the daemon (drop it with no shutdown handshake) and show the
+//! restarted daemon resuming the session with byte-identical answers.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example serve_client
+//! ```
+
+use alic::serve::protocol::{format_cost, parse_config};
+use alic::serve::{ConnState, Engine, ServeConfig};
+use alic::sim::profiler::{Profiler, SimulatedProfiler};
+use alic::sim::spapt::{spapt_kernel, SpaptKernel};
+
+/// Sends one request line and returns the reply, crashing on `err` — this
+/// scripted client has no faults to recover from (see
+/// `tests/serve_resume.rs` for the retrying recovery driver).
+fn request(engine: &mut Engine, conn: &mut ConnState, line: &str) -> String {
+    let reply = engine
+        .handle_line(conn, line)
+        .reply
+        .expect("non-empty requests always draw a reply");
+    println!("> {line}\n< {reply}");
+    assert!(reply.starts_with("ok "), "unexpected error reply: {reply}");
+    reply
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("alic-serve-client-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The measurement side: the simulated GEMVER kernel. A real deployment
+    // would compile and time candidate configurations instead.
+    let kernel = spapt_kernel(SpaptKernel::Gemver);
+    let mut profiler = SimulatedProfiler::new(kernel, 42);
+
+    let mut engine = Engine::open(ServeConfig::new(&dir)).expect("serve directory is writable");
+    let mut conn = ConnState::new();
+    request(&mut engine, &mut conn, "newsession gemver spapt");
+
+    // The tuning loop: ask the session's surrogate where to measure next,
+    // measure there, feed the cost back. Every `ok observed` reply means
+    // the observation is already durable on disk.
+    for round in 0..5 {
+        let suggested = request(&mut engine, &mut conn, "suggest 3");
+        for token in suggested.split_whitespace().skip(2) {
+            let config = parse_config(token).expect("the daemon suggests valid configurations");
+            let cost = profiler.measure(&config).runtime;
+            request(
+                &mut engine,
+                &mut conn,
+                &format!("observe {token} {}", format_cost(cost)),
+            );
+        }
+        println!("round {round} done");
+    }
+    let best_before = request(&mut engine, &mut conn, "best");
+    let suggest_before = request(&mut engine, &mut conn, "suggest 2");
+
+    // Simulated SIGKILL: no `quit`, no flush — the daemon just vanishes.
+    println!(
+        "\n--- daemon killed; restarting from {} ---\n",
+        dir.display()
+    );
+    drop(engine);
+
+    let mut engine = Engine::open(ServeConfig::new(&dir)).expect("serve directory is readable");
+    let mut conn = ConnState::new();
+    request(&mut engine, &mut conn, "attach s000000");
+    let best_after = request(&mut engine, &mut conn, "best");
+    let suggest_after = request(&mut engine, &mut conn, "suggest 2");
+
+    assert_eq!(best_before, best_after, "restart changed the best answer");
+    assert_eq!(
+        suggest_before, suggest_after,
+        "restart changed the suggestion stream"
+    );
+    println!("\nrestart resumed the session bit-identically");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,6 +12,7 @@
 //! | [`data`] | `alic-data` | dataset generation, train/test splits, serialization |
 //! | [`model`] | `alic-model` | dynamic trees, CART, Gaussian processes, baselines |
 //! | [`core`] | `alic-core` | the active-learning loop with sequential analysis (Algorithm 1) |
+//! | [`serve`] | `alic-serve` | the crash-safe autotuning daemon (line protocol, checkpointed sessions) |
 //! | [`experiments`] | `alic-experiments` | the harness regenerating every table and figure |
 //!
 //! # Quick start
@@ -56,5 +57,6 @@ pub use alic_core as core;
 pub use alic_data as data;
 pub use alic_experiments as experiments;
 pub use alic_model as model;
+pub use alic_serve as serve;
 pub use alic_sim as sim;
 pub use alic_stats as stats;

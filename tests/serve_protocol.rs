@@ -1,0 +1,199 @@
+//! Protocol robustness: the daemon's engine is total over its input.
+//!
+//! Two properties pin the serving layer's "malformed input never panics"
+//! contract:
+//!
+//! * **Fuzz totality** — arbitrary byte soup (including invalid UTF-8,
+//!   control characters, and truncated commands) fed straight into
+//!   [`Engine::handle_line`] never panics and never produces anything but a
+//!   structured single-line `ok`/`err` reply, and the engine still serves a
+//!   clean session afterwards.
+//! * **Chaotic wire** — the same scripted transcript pushed through the
+//!   connection-level chaos sites (dropped connections mid-line, short
+//!   reads, torn replies) still draws only structured replies, each armed
+//!   site's `injections()` counter actually advances (the plane is not
+//!   silently inert), and the session's durable state stays consistent.
+//!
+//! Every test takes the fault plane's process-wide exclusive guard: the
+//! plane is global, and a plan installed for one test must never leak
+//! injections into a concurrently running one.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use alic::serve::chaos::{write_reply, ChaosLines};
+use alic::serve::{ConnState, Engine, ServeConfig};
+use alic::stats::fault::{self, injections, FaultPlan, FaultSite};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_engine(label: &str) -> (Engine, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "alic-serve-protocol-{label}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    (Engine::open(ServeConfig::new(&dir)).unwrap(), dir)
+}
+
+/// Replies must be a single structured line: an `ok`/`err` prefix and no
+/// control characters (error detail is sanitized before it hits the wire).
+fn assert_structured(line: &str, reply: &str) {
+    assert!(
+        reply.starts_with("ok ") || reply.starts_with("err "),
+        "{line:?} -> unstructured reply {reply:?}"
+    );
+    assert!(
+        !reply.chars().any(char::is_control),
+        "{line:?} -> reply with control characters {reply:?}"
+    );
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_byte_streams_never_panic_and_always_answer_structured(
+        bytes in collection::vec(0u8..=255, 0..240),
+    ) {
+        let _guard = fault::exclusive_clean();
+        let (mut engine, dir) = temp_engine("fuzz");
+        let mut conn = ConnState::new();
+        // The transport layer replaces invalid UTF-8 and splits on
+        // newlines; everything after that is the engine's problem.
+        let soup = String::from_utf8_lossy(&bytes).into_owned();
+        for line in soup.split('\n') {
+            let response = engine.handle_line(&mut conn, line);
+            if let Some(reply) = &response.reply {
+                assert_structured(line, reply);
+            }
+        }
+        // Whatever the soup did, the engine still serves clean traffic.
+        let mut conn = ConnState::new();
+        let reply = engine
+            .handle_line(&mut conn, "newsession post-fuzz u:unroll:1:9")
+            .reply
+            .unwrap();
+        prop_assert!(reply.starts_with("ok session "), "{}", reply);
+        let reply = engine.handle_line(&mut conn, "observe 4 1.5").reply.unwrap();
+        prop_assert!(reply.starts_with("ok observed 1"), "{}", reply);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn oversized_and_garbled_lines_are_parse_errors_not_panics() {
+    let _guard = fault::exclusive_clean();
+    let (mut engine, dir) = temp_engine("garble");
+    let mut conn = ConnState::new();
+    for line in [
+        "x".repeat(9000),
+        "observe".to_string(),
+        "observe 3,".to_string(),
+        "observe 3 not-a-cost".to_string(),
+        "suggest -1".to_string(),
+        "newsession".to_string(),
+        "newsession k u:bogus-kind".to_string(),
+        "attach s1".to_string(),
+        "\u{1}\u{2}\u{3}".to_string(),
+    ] {
+        let reply = engine.handle_line(&mut conn, &line).reply.unwrap();
+        assert!(reply.starts_with("err "), "{line:?} -> {reply}");
+        assert_structured(&line, &reply);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// One request over the chaotic wire: the line passes through
+/// [`ChaosLines`] (drop/short-read sites) and the reply through
+/// [`write_reply`] (torn-reply site). `None` models everything a real
+/// client would see as a broken connection.
+fn wire_request(engine: &mut Engine, conn: &mut ConnState, line: &str) -> Option<String> {
+    let framed = format!("{line}\n");
+    let mut reader = ChaosLines::new(framed.as_bytes());
+    let got = reader.next_line().expect("in-memory reads cannot fail")?;
+    let reply = engine.handle_line(conn, &got).reply?;
+    let mut out = Vec::new();
+    match write_reply(&mut out, &reply) {
+        Ok(()) => Some(String::from_utf8(out).unwrap().trim_end().to_string()),
+        Err(_) => None,
+    }
+}
+
+#[test]
+fn chaotic_wire_yields_structured_replies_and_counts_injections() {
+    let _guard = fault::exclusive(
+        FaultPlan::new(17)
+            .with_site(FaultSite::ConnDrop, 0.25, Some(3))
+            .with_site(FaultSite::ShortRead, 0.25, Some(4))
+            .with_site(FaultSite::TornReply, 0.25, Some(3)),
+    );
+    let (mut engine, dir) = temp_engine("wire");
+    let mut conn = ConnState::new();
+    let script = [
+        "newsession mvt u:unroll:1:9,t:cache-tile:0:5",
+        "observe 3,2 1.5",
+        "observe 4,1 1.25",
+        "best",
+        "suggest 2",
+        "observe 5,0 1.75",
+        "best",
+        "sessions",
+        "checkpoint",
+        "suggest",
+        "best",
+        "observe 6,3 1.9",
+        "sessions",
+        "suggest 3",
+        "best",
+        "checkpoint",
+    ];
+    // Three rounds spend every site's budget even under unlucky rolls.
+    for _round in 0..3 {
+        for line in script {
+            if let Some(reply) = wire_request(&mut engine, &mut conn, line) {
+                assert_structured(line, &reply);
+            }
+        }
+    }
+    for site in [
+        FaultSite::ConnDrop,
+        FaultSite::ShortRead,
+        FaultSite::TornReply,
+    ] {
+        assert!(
+            injections(site) > 0,
+            "armed site {} never fired: the wire plane is inert",
+            site.name()
+        );
+    }
+    // The budgets are bounded, so a short retry loop always out-lasts the
+    // remaining chaos; the healed wire then shows consistent durable state.
+    let settle = |engine: &mut Engine, conn: &mut ConnState, line: &str| -> String {
+        for _ in 0..32 {
+            if let Some(reply) = wire_request(engine, conn, line) {
+                if reply.starts_with("ok ") {
+                    return reply;
+                }
+            }
+        }
+        panic!("{line:?} never settled under a budgeted plan")
+    };
+    // Session ids allocate densely from zero, so once any `newsession`
+    // commits (now, if every scripted one was eaten), `s000000` exists.
+    if settle(&mut engine, &mut conn, "sessions") == "ok sessions" {
+        settle(
+            &mut engine,
+            &mut conn,
+            "newsession mvt u:unroll:1:9,t:cache-tile:0:5",
+        );
+    }
+    let reply = settle(&mut engine, &mut conn, "attach s000000");
+    assert!(reply.starts_with("ok attached s000000 obs "), "{reply}");
+    settle(&mut engine, &mut conn, "observe 2,2 9.9");
+    let reply = settle(&mut engine, &mut conn, "best");
+    assert!(reply.starts_with("ok best "), "{reply}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
