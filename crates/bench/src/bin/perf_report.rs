@@ -16,16 +16,21 @@
 //! `suggest` and `observe` through the daemon engine's dispatch — parse,
 //! session table, surrogate work, and for `observe` the durable
 //! read-back-verified checkpoint the replied-⇒-durable contract pays for
-//! per request. The report is JSON (schema documented
+//! per request, and the warm-start workloads (`warmstart_*` /
+//! `serve_suggest_warm_*`, since PR 9): the sample-efficiency pair counts
+//! observations to a target held-out RMSE for a cold surrogate vs one
+//! restored from the warm store's donor snapshot, and the warm suggest
+//! workload times the read path of a session whose very first request is
+//! ranked by a restored donor surrogate. The report is JSON (schema documented
 //! in the [`alic_bench`] crate docs); the canonical `full` scale carries
 //! the PR 5 baseline timings measured on the same machine, so the report
 //! states the speedup of the bitset/block scan kernels directly.
 //!
 //! ```text
-//! cargo run --release --bin perf_report                     # full scale -> BENCH_PR8.json
+//! cargo run --release --bin perf_report                     # full scale -> BENCH_PR9.json
 //! cargo run --release --bin perf_report -- --scale smoke --out /tmp/smoke.json
 //! cargo run --release --bin perf_report -- --scale smoke \
-//!     --baseline BENCH_PR8.json --max-regression 2.0       # CI regression gate
+//!     --baseline BENCH_PR9.json --max-regression 2.0       # CI regression gate
 //! ```
 //!
 //! `--scale smoke` (or `ALIC_PERF_SCALE=smoke`) runs tiny versions of every
@@ -63,11 +68,14 @@ use alic_core::acquisition::Acquisition;
 use alic_core::learner::{ActiveLearner, LearnerConfig};
 use alic_core::plan::SamplingPlan;
 use alic_core::runner::run_campaign;
+use alic_core::warmstore::{WarmKey, WarmStore};
 use alic_model::dynatree::{DynaTree, DynaTreeConfig};
 use alic_model::gp::GaussianProcess;
 use alic_model::sgp::{SparseGaussianProcess, SparseGpConfig};
+use alic_model::snapshot::restore_snapshot;
 use alic_model::{row_views, ActiveSurrogate, SurrogateModel, SurrogateSpec};
 use alic_serve::{ConnState, Engine, ServeConfig};
+use alic_sim::space::{ParamKind, ParamSpec, ParameterSpace};
 
 /// PR 5 baseline, measured on the same machine (single core, release build,
 /// per-workload best over three repeated report runs to defeat clock
@@ -127,6 +135,12 @@ struct ScaleParams {
     /// Observations per `serve_observe` batch (each one a full durable
     /// round trip).
     serve_batch: usize,
+    /// Observations behind the donor surrogate cached in the warm store
+    /// for the warm-start workloads.
+    warmstart_donor: usize,
+    /// Observation budget for the cold reference run of the warm-start
+    /// sample-efficiency pair.
+    warmstart_budget: usize,
     /// Best-of repetitions for the (cheap) scoring workload and the
     /// (expensive) fit/update/learner workloads respectively.
     reps_scoring: usize,
@@ -149,6 +163,8 @@ const FULL: ScaleParams = ScaleParams {
     serve_preload: 200,
     serve_suggest: 16,
     serve_batch: 50,
+    warmstart_donor: 32,
+    warmstart_budget: 40,
     reps_scoring: 10,
     reps_heavy: 3,
 };
@@ -169,6 +185,8 @@ const SMOKE: ScaleParams = ScaleParams {
     serve_preload: 20,
     serve_suggest: 4,
     serve_batch: 10,
+    warmstart_donor: 12,
+    warmstart_budget: 10,
     reps_scoring: 2,
     reps_heavy: 1,
 };
@@ -743,6 +761,220 @@ fn run_workloads(params: &ScaleParams) -> Vec<WorkloadResult> {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    // 11. Warm-start workloads (PR 9): the sample-efficiency pair measures
+    //     how many observations a surrogate needs to reach a target RMSE
+    //     on a held-out grid — once from scratch (cold) and once seeded
+    //     from a donor snapshot cached in the warm store, exactly the
+    //     probe → restore → update path `alic-serve` takes on a
+    //     fingerprint hit. The target is the cold run's own final RMSE, so
+    //     the warm entry's description reports how many observations a
+    //     warm start saves on the same kernel. `seconds` times the whole
+    //     to-target loop (restore included for the warm case).
+    {
+        let surface = |a: f64, b: f64| (4.0 * a).sin() + 0.5 * b + 0.3 * (3.0 * b).cos();
+        // Deterministic low-discrepancy streams: the donor tuned the same
+        // kernel earlier (phase 0); the new session sees phase 1. The
+        // held-out evaluation grid uses coprime strides so it overlaps
+        // neither stream.
+        let stream = |phase: usize, i: usize| {
+            let a = (((i + 1) * (13 + 7 * phase)) % 97) as f64 / 96.0;
+            let b = (((i + 1) * (29 + 11 * phase)) % 89) as f64 / 88.0;
+            (vec![a, b], surface(a, b))
+        };
+        let eval: Vec<(Vec<f64>, f64)> = (0..64)
+            .map(|i| {
+                let a = ((i * 41) % 64) as f64 / 63.0;
+                let b = ((i * 23) % 64) as f64 / 63.0;
+                (vec![a, b], surface(a, b))
+            })
+            .collect();
+        let rmse = |model: &dyn ActiveSurrogate| {
+            let sq: f64 = eval
+                .iter()
+                .map(|(x, y)| {
+                    let p = model.predict(x).expect("eval point predicts");
+                    (p.mean - y) * (p.mean - y)
+                })
+                .sum();
+            (sq / eval.len() as f64).sqrt()
+        };
+        let spec = SurrogateSpec::Gp(Default::default());
+        const SERVE_FIT_MIN: usize = 4;
+
+        // Cold reference: fit on the first SERVE_FIT_MIN points (the
+        // daemon's warmup), then update point by point to the budget.
+        let budget = params.warmstart_budget.max(SERVE_FIT_MIN + 1);
+        let cold_run = || {
+            let mut model = spec.build(17);
+            let warmup: Vec<(Vec<f64>, f64)> = (0..SERVE_FIT_MIN).map(|i| stream(1, i)).collect();
+            let views: Vec<&[f64]> = warmup.iter().map(|(x, _)| x.as_slice()).collect();
+            let ys: Vec<f64> = warmup.iter().map(|(_, y)| *y).collect();
+            model.fit(&views, &ys).expect("cold fit succeeds");
+            for i in SERVE_FIT_MIN..budget {
+                let (x, y) = stream(1, i);
+                model.update(&x, y).expect("cold update succeeds");
+            }
+            model
+        };
+        let target_rmse = rmse(cold_run().as_ref());
+        let seconds = time_workload(
+            || {
+                std::hint::black_box(rmse(cold_run().as_ref()));
+            },
+            params.reps_heavy,
+        );
+        let name = format!("warmstart_cold_gp_{budget}obs");
+        results.push(WorkloadResult {
+            description: format!(
+                "cold GP: {budget} observations from scratch reach held-out RMSE {target_rmse:.4} \
+                 (the warm pair's target)"
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+
+        // Warm run: a donor surrogate trained on the same kernel's earlier
+        // stream is cached in the warm store; the new session probes,
+        // restores, and updates until it matches the cold run's final
+        // RMSE.
+        let dir = std::env::temp_dir().join(format!("alic-perf-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp warm dir is writable");
+        let store_path = dir.join("warm.json");
+        let space = ParameterSpace::new(vec![
+            ParamSpec::new("a", ParamKind::Unroll, 0, 96),
+            ParamSpec::new("b", ParamKind::CacheTile, 0, 88),
+        ])
+        .expect("bench space is non-empty");
+        let key = WarmKey::new("perf-surface", &space, "gp", "default");
+        let donor = params.warmstart_donor;
+        {
+            let mut model = spec.build(17);
+            let points: Vec<(Vec<f64>, f64)> = (0..donor).map(|i| stream(0, i)).collect();
+            let views: Vec<&[f64]> = points.iter().map(|(x, _)| x.as_slice()).collect();
+            let ys: Vec<f64> = points.iter().map(|(_, y)| *y).collect();
+            model.fit(&views, &ys).expect("donor fit succeeds");
+            let snapshot = model.snapshot().expect("gp snapshots");
+            let mut store = WarmStore::open(&store_path);
+            store.insert(&key, donor, snapshot);
+            store.save().expect("warm store saves");
+        }
+        let warm_run = || {
+            let mut store = WarmStore::open(&store_path);
+            let entry = store.probe(&key).expect("donor entry resident");
+            let mut model = restore_snapshot(&entry.model).expect("donor snapshot restores");
+            let mut used = 0usize;
+            while rmse(model.as_ref()) > target_rmse && used < budget {
+                let (x, y) = stream(1, used);
+                model.update(&x, y).expect("warm update succeeds");
+                used += 1;
+            }
+            used
+        };
+        let warm_used = warm_run();
+        let seconds = time_workload(
+            || {
+                std::hint::black_box(warm_run());
+            },
+            params.reps_heavy,
+        );
+        let name = format!("warmstart_warm_gp_{donor}donor");
+        results.push(WorkloadResult {
+            description: format!(
+                "warm GP ({donor}-observation donor from the store): matched the cold run's \
+                 final RMSE after {warm_used} observations vs {budget} cold"
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // 12. Warm suggest latency (PR 9): the request→reply latency of
+    //     `suggest` on a session that was warm-started from the store —
+    //     the restored donor surrogate ranks the candidate pool from the
+    //     session's very first request, so this is the read-path price of
+    //     a warm start (cf. `serve_suggest_*` for the cold equivalent).
+    {
+        let donor_dir =
+            std::env::temp_dir().join(format!("alic-perf-warmserve-a-{}", std::process::id()));
+        let serve_dir =
+            std::env::temp_dir().join(format!("alic-perf-warmserve-b-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&donor_dir);
+        let _ = std::fs::remove_dir_all(&serve_dir);
+        let store_path = donor_dir.join("warm.json");
+        let request = |engine: &mut Engine, conn: &mut ConnState, line: &str| {
+            let reply = engine.handle_line(conn, line).reply.expect("reply");
+            assert!(reply.starts_with("ok "), "{line:?} -> {reply}");
+            reply
+        };
+        let observe_line = |i: usize| {
+            format!(
+                "observe {},{} {:.3}",
+                1 + i % 30,
+                i % 12,
+                1.0 + (i % 7) as f64
+            )
+        };
+        // Donor daemon: tune, then quit so the surrogate lands in the
+        // store.
+        {
+            let mut config = ServeConfig::new(&donor_dir);
+            config.default_model = SurrogateSpec::Gp(Default::default());
+            config.warm_store = Some(store_path.clone());
+            let mut engine = Engine::open(config).expect("temp serve dir is writable");
+            let mut conn = ConnState::new();
+            request(
+                &mut engine,
+                &mut conn,
+                "newsession perf u:unroll:1:30,t:cache-tile:0:11",
+            );
+            for i in 0..params.serve_preload {
+                request(&mut engine, &mut conn, &observe_line(i));
+            }
+            request(&mut engine, &mut conn, "quit");
+        }
+        // Restarted daemon: the same kernel/space warm-starts from the
+        // store and serves suggestions with zero local observations.
+        let mut config = ServeConfig::new(&serve_dir);
+        config.default_model = SurrogateSpec::Gp(Default::default());
+        config.warm_store = Some(store_path);
+        let mut engine = Engine::open(config).expect("temp serve dir is writable");
+        let mut conn = ConnState::new();
+        let reply = request(
+            &mut engine,
+            &mut conn,
+            "newsession perf u:unroll:1:30,t:cache-tile:0:11",
+        );
+        assert!(reply.contains(" warm "), "expected a warm start: {reply}");
+        let suggest_line = format!("suggest {}", params.serve_suggest);
+        let seconds = time_workload(
+            || {
+                std::hint::black_box(request(&mut engine, &mut conn, &suggest_line));
+            },
+            params.reps_scoring,
+        );
+        let name = format!(
+            "serve_suggest_warm_{}donor_{}",
+            params.serve_preload, params.serve_suggest
+        );
+        results.push(WorkloadResult {
+            description: format!(
+                "serve round-trip: suggest {} on a session warm-started from a \
+                 {}-observation donor surrogate",
+                params.serve_suggest, params.serve_preload
+            ),
+            seconds,
+            baseline_seconds: baseline(&name),
+            name,
+        });
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&donor_dir);
+        let _ = std::fs::remove_dir_all(&serve_dir);
+    }
+
     results
 }
 
@@ -750,7 +982,7 @@ fn render_json(scale_label: &str, results: &[WorkloadResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"alic-perf-report/v1\",");
-    let _ = writeln!(out, "  \"pr\": 8,");
+    let _ = writeln!(out, "  \"pr\": 9,");
     let _ = writeln!(out, "  \"scale\": \"{scale_label}\",");
     let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
     out.push_str("  \"workloads\": [\n");
@@ -855,7 +1087,7 @@ fn load_report_workloads(path: &str) -> Vec<WorkloadResult> {
 
 fn main() {
     let mut scale = std::env::var("ALIC_PERF_SCALE").unwrap_or_else(|_| "full".to_string());
-    let mut out_path = "BENCH_PR8.json".to_string();
+    let mut out_path = "BENCH_PR9.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut merge_path: Option<String> = None;
     let mut max_regression: Option<f64> = None;

@@ -64,6 +64,7 @@ pub mod learner;
 pub mod ledger;
 pub mod plan;
 pub mod runner;
+pub mod warmstore;
 
 /// Convenient re-exports of the types needed to drive the learner.
 pub mod prelude {

@@ -320,6 +320,24 @@ impl KernelContext {
 ///
 /// Propagates learner errors (for example inconsistent configurations).
 pub fn execute_unit(spec: &CampaignSpec, ctx: &KernelContext, key: UnitKey) -> Result<LearnerRun> {
+    execute_unit_capturing(spec, ctx, key).map(|(run, _)| run)
+}
+
+/// [`execute_unit`] variant that also hands back the trained surrogate —
+/// the warm-store harvest path, where the model itself (not just the run
+/// statistics) is the artifact of interest.
+///
+/// # Errors
+///
+/// Propagates learner errors (for example inconsistent configurations).
+pub fn execute_unit_capturing(
+    spec: &CampaignSpec,
+    ctx: &KernelContext,
+    key: UnitKey,
+) -> Result<(
+    LearnerRun,
+    Box<dyn alic_model::traits::ActiveSurrogate + Send>,
+)> {
     let unit = spec.index_of(key);
     // Chaos sites for unit execution: a transient whole-unit evaluator
     // error, and a mid-unit panic. Both are inert without an installed
@@ -341,7 +359,8 @@ pub fn execute_unit(spec: &CampaignSpec, ctx: &KernelContext, key: UnitKey) -> R
     };
     let mut model = spec.models[key.model].build(derive_seed(seed, 5));
     let mut learner = ActiveLearner::new(learner_config, &mut profiler);
-    learner.run(model.as_mut(), &ctx.dataset, &ctx.split)
+    let run = learner.run(model.as_mut(), &ctx.dataset, &ctx.split)?;
+    Ok((run, model))
 }
 
 /// Order-preserving work-stealing parallel map — the executor primitive

@@ -69,6 +69,11 @@ pub struct CampaignOptions {
     /// Deterministic fault-injection plan to install for the run
     /// (`--chaos seed:site=rate[xbudget],...`).
     pub chaos: Option<alic_core::fault::FaultPlan>,
+    /// Harvest one trained surrogate per kernel × model into this
+    /// warm-start store after a full (non-shard) run completes
+    /// (`--warm-store PATH`). Stored under the `"campaign"` noise regime,
+    /// so campaign-featurized surrogates never seed serve sessions.
+    pub warm_store: Option<PathBuf>,
 }
 
 impl CampaignOptions {
@@ -89,7 +94,7 @@ impl CampaignOptions {
                 eprintln!(
                     "usage: campaign [quick|laptop|full] [--model {}[,...]] \
                      [--kernels adi,mvt,...] [--dir PATH] [--shard i/n] [--resume] [--merge] \
-                     [--chaos seed:site=rate[xbudget],...]",
+                     [--chaos seed:site=rate[xbudget],...] [--warm-store PATH]",
                     SurrogateSpec::names().join("|")
                 );
                 std::process::exit(2);
@@ -118,6 +123,7 @@ impl CampaignOptions {
         let mut resume = false;
         let mut merge = false;
         let mut chaos: Option<alic_core::fault::FaultPlan> = None;
+        let mut warm_store: Option<PathBuf> = None;
 
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -169,6 +175,8 @@ impl CampaignOptions {
                 shard = Some(
                     parsed.ok_or_else(|| format!("--shard needs the form i/n, got '{text}'"))?,
                 );
+            } else if let Some(path) = value_of("--warm-store", &arg)? {
+                warm_store = Some(PathBuf::from(path));
             } else if let Some(text) = value_of("--chaos", &arg)? {
                 chaos = Some(
                     alic_core::fault::FaultPlan::parse(&text)
@@ -221,6 +229,7 @@ impl CampaignOptions {
             resume,
             merge,
             chaos,
+            warm_store,
         })
     }
 
@@ -333,6 +342,13 @@ pub fn run(options: &CampaignOptions) -> Result<()> {
     }
 
     if options.shard.is_none() {
+        // Opt-in warm-store harvest: re-run one representative unit per
+        // kernel × model capturing its trained surrogate. Units are
+        // deterministic, so this reproduces exactly what the campaign
+        // already measured.
+        if let Some(path) = &options.warm_store {
+            harvest_warm_store(&spec, path)?;
+        }
         // The whole matrix is complete: merge immediately, exactly as a
         // later `--merge` invocation would (the report is assembled from the
         // on-disk records either way, so the bytes cannot differ).
@@ -345,6 +361,43 @@ pub fn run(options: &CampaignOptions) -> Result<()> {
             ledger.dir().display()
         );
     }
+    Ok(())
+}
+
+/// Trains (deterministically re-executes) one representative unit per
+/// kernel × model and offers each trained surrogate to the warm store under
+/// the `"campaign"` noise regime. Families without snapshot support are
+/// skipped silently.
+fn harvest_warm_store(spec: &CampaignSpec, path: &std::path::Path) -> Result<()> {
+    use alic_core::warmstore::{WarmKey, WarmStore};
+    let mut store = WarmStore::open(path);
+    let mut harvested = 0usize;
+    for (kernel_index, kernel) in spec.kernels.iter().enumerate() {
+        let ctx = runner::KernelContext::prepare(kernel, &spec.base);
+        for (model_index, model_spec) in spec.models.iter().enumerate() {
+            let key = runner::UnitKey {
+                kernel: kernel_index,
+                model: model_index,
+                plan: 0,
+                repetition: 0,
+            };
+            let (_, model) = runner::execute_unit_capturing(spec, &ctx, key)?;
+            let Ok(snapshot) = model.snapshot() else {
+                continue;
+            };
+            let warm_key =
+                WarmKey::new(kernel.name(), kernel.space(), model_spec.name(), "campaign");
+            if store.insert(&warm_key, model.observation_count(), snapshot) {
+                harvested += 1;
+            }
+        }
+    }
+    store.save()?;
+    println!(
+        "[warm store {}: {harvested} surrogate(s) harvested, {} resident]",
+        path.display(),
+        store.len()
+    );
     Ok(())
 }
 

@@ -4,8 +4,10 @@
 //! everywhere, with the global variance as its uncertainty. Any useful model
 //! must beat it; the test suites and benchmarks use it as a floor.
 
+use alic_data::io::JsonValue;
 use alic_stats::summary::OnlineStats;
 
+use crate::snapshot::{self, Snapshot};
 use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
 use crate::{validate_training_set, ModelError, Result};
 
@@ -20,6 +22,24 @@ impl ConstantMean {
     /// Creates an unfitted constant-mean model.
     pub fn new() -> Self {
         ConstantMean::default()
+    }
+
+    /// Rebuilds a model from a [`SurrogateModel::snapshot`] document.
+    pub(crate) fn from_snapshot(doc: &JsonValue) -> Result<Self> {
+        let dimension = match snapshot::get(doc, "dimension")? {
+            JsonValue::Null => None,
+            _ => Some(snapshot::get_usize(doc, "dimension")?),
+        };
+        Ok(ConstantMean {
+            stats: OnlineStats::from_parts(
+                snapshot::get_usize(doc, "count")?,
+                snapshot::get_hex_f64(doc, "mean")?,
+                snapshot::get_hex_f64(doc, "m2")?,
+                snapshot::get_hex_f64(doc, "min")?,
+                snapshot::get_hex_f64(doc, "max")?,
+            ),
+            dimension,
+        })
     }
 }
 
@@ -62,6 +82,25 @@ impl SurrogateModel for ConstantMean {
 
     fn dimension(&self) -> Option<usize> {
         self.dimension
+    }
+
+    fn snapshot(&self) -> Result<Snapshot> {
+        let mut fields = snapshot::header("mean");
+        fields.extend([
+            ("count".to_string(), snapshot::num(self.stats.count())),
+            ("mean".to_string(), snapshot::hex_f64(self.stats.mean())),
+            ("m2".to_string(), snapshot::hex_f64(self.stats.m2())),
+            ("min".to_string(), snapshot::hex_f64(self.stats.min())),
+            ("max".to_string(), snapshot::hex_f64(self.stats.max())),
+            (
+                "dimension".to_string(),
+                match self.dimension {
+                    None => JsonValue::Null,
+                    Some(d) => snapshot::num(d),
+                },
+            ),
+        ]);
+        Ok(JsonValue::Object(fields))
     }
 }
 

@@ -10,7 +10,10 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use alic_data::io::JsonValue;
+
 use crate::leaf::{LeafPrior, LeafStats};
+use crate::snapshot::{self, Snapshot};
 use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
 use crate::{validate_training_set, ModelError, Result};
 
@@ -166,6 +169,87 @@ impl RegressionTree {
         }
     }
 
+    /// Rebuilds a tree from a [`SurrogateModel::snapshot`] document. Nodes
+    /// are stored as parallel columns with a kind discriminator (0 = leaf,
+    /// 1 = split); non-applicable columns hold zeros.
+    pub(crate) fn from_snapshot(doc: &JsonValue) -> Result<Self> {
+        let kinds = snapshot::get_hex_u32s(doc, "node_kind")?;
+        let dims = snapshot::get_hex_u32s(doc, "node_dimension")?;
+        let thresholds = snapshot::get_hex_f64s(doc, "node_threshold")?;
+        let lefts = snapshot::get_hex_u32s(doc, "node_left")?;
+        let rights = snapshot::get_hex_u32s(doc, "node_right")?;
+        let counts = snapshot::get_hex_u32s(doc, "leaf_count")?;
+        let means = snapshot::get_hex_f64s(doc, "leaf_mean")?;
+        let m2s = snapshot::get_hex_f64s(doc, "leaf_m2")?;
+        let mins = snapshot::get_hex_f64s(doc, "leaf_min")?;
+        let maxs = snapshot::get_hex_f64s(doc, "leaf_max")?;
+        let n = kinds.len();
+        for (name, len) in [
+            ("node_dimension", dims.len()),
+            ("node_threshold", thresholds.len()),
+            ("node_left", lefts.len()),
+            ("node_right", rights.len()),
+            ("leaf_count", counts.len()),
+            ("leaf_mean", means.len()),
+            ("leaf_m2", m2s.len()),
+            ("leaf_min", mins.len()),
+            ("leaf_max", maxs.len()),
+        ] {
+            if len != n {
+                return Err(snapshot::err(format!(
+                    "field {name}: {len} entries for {n} nodes"
+                )));
+            }
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            nodes.push(match kinds[i] {
+                0 => Node::Leaf {
+                    stats: LeafStats::from_parts(
+                        counts[i] as usize,
+                        means[i],
+                        m2s[i],
+                        mins[i],
+                        maxs[i],
+                    ),
+                },
+                1 => {
+                    let (left, right) = (lefts[i] as usize, rights[i] as usize);
+                    if left >= n || right >= n {
+                        return Err(snapshot::err(format!("node {i}: child out of range")));
+                    }
+                    Node::Split {
+                        dimension: dims[i] as usize,
+                        threshold: thresholds[i],
+                        left,
+                        right,
+                    }
+                }
+                other => return Err(snapshot::err(format!("node {i}: unknown kind {other}"))),
+            });
+        }
+        let dimension = match snapshot::get(doc, "dimension")? {
+            JsonValue::Null => None,
+            _ => Some(snapshot::get_usize(doc, "dimension")?),
+        };
+        Ok(RegressionTree {
+            config: CartConfig {
+                max_depth: snapshot::get_usize(doc, "max_depth")?,
+                min_leaf: snapshot::get_usize(doc, "min_leaf")?,
+                min_gain: snapshot::get_hex_f64(doc, "min_gain")?,
+            },
+            nodes,
+            prior: LeafPrior {
+                mean: snapshot::get_hex_f64(doc, "prior_mean")?,
+                kappa: snapshot::get_hex_f64(doc, "prior_kappa")?,
+                shape: snapshot::get_hex_f64(doc, "prior_shape")?,
+                scale: snapshot::get_hex_f64(doc, "prior_scale")?,
+            },
+            dimension,
+            observations: snapshot::get_usize(doc, "observations")?,
+        })
+    }
+
     fn leaf_for(&self, x: &[f64]) -> Result<&LeafStats> {
         if self.nodes.is_empty() {
             return Err(ModelError::NotFitted);
@@ -277,6 +361,100 @@ impl SurrogateModel for RegressionTree {
 
     fn dimension(&self) -> Option<usize> {
         self.dimension
+    }
+
+    fn snapshot(&self) -> Result<Snapshot> {
+        let n = self.nodes.len();
+        let mut kinds = Vec::with_capacity(n);
+        let mut dims = Vec::with_capacity(n);
+        let mut thresholds = Vec::with_capacity(n);
+        let mut lefts = Vec::with_capacity(n);
+        let mut rights = Vec::with_capacity(n);
+        let mut counts = Vec::with_capacity(n);
+        let mut means = Vec::with_capacity(n);
+        let mut m2s = Vec::with_capacity(n);
+        let mut mins = Vec::with_capacity(n);
+        let mut maxs = Vec::with_capacity(n);
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { stats } => {
+                    let (count, mean, m2, min, max) = stats.parts();
+                    kinds.push(0u32);
+                    dims.push(0);
+                    thresholds.push(0.0);
+                    lefts.push(0);
+                    rights.push(0);
+                    counts.push(u32::try_from(count).map_err(|_| {
+                        snapshot::err("leaf count exceeds the u32 snapshot column")
+                    })?);
+                    means.push(mean);
+                    m2s.push(m2);
+                    mins.push(min);
+                    maxs.push(max);
+                }
+                Node::Split {
+                    dimension,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    kinds.push(1);
+                    dims.push(*dimension as u32);
+                    thresholds.push(*threshold);
+                    lefts.push(*left as u32);
+                    rights.push(*right as u32);
+                    counts.push(0);
+                    means.push(0.0);
+                    m2s.push(0.0);
+                    mins.push(0.0);
+                    maxs.push(0.0);
+                }
+            }
+        }
+        let mut fields = snapshot::header("cart");
+        fields.extend([
+            (
+                "max_depth".to_string(),
+                snapshot::num(self.config.max_depth),
+            ),
+            ("min_leaf".to_string(), snapshot::num(self.config.min_leaf)),
+            (
+                "min_gain".to_string(),
+                snapshot::hex_f64(self.config.min_gain),
+            ),
+            ("node_kind".to_string(), snapshot::hex_u32s(kinds)),
+            ("node_dimension".to_string(), snapshot::hex_u32s(dims)),
+            ("node_threshold".to_string(), snapshot::hex_f64s(thresholds)),
+            ("node_left".to_string(), snapshot::hex_u32s(lefts)),
+            ("node_right".to_string(), snapshot::hex_u32s(rights)),
+            ("leaf_count".to_string(), snapshot::hex_u32s(counts)),
+            ("leaf_mean".to_string(), snapshot::hex_f64s(means)),
+            ("leaf_m2".to_string(), snapshot::hex_f64s(m2s)),
+            ("leaf_min".to_string(), snapshot::hex_f64s(mins)),
+            ("leaf_max".to_string(), snapshot::hex_f64s(maxs)),
+            ("prior_mean".to_string(), snapshot::hex_f64(self.prior.mean)),
+            (
+                "prior_kappa".to_string(),
+                snapshot::hex_f64(self.prior.kappa),
+            ),
+            (
+                "prior_shape".to_string(),
+                snapshot::hex_f64(self.prior.shape),
+            ),
+            (
+                "prior_scale".to_string(),
+                snapshot::hex_f64(self.prior.scale),
+            ),
+            (
+                "dimension".to_string(),
+                match self.dimension {
+                    None => JsonValue::Null,
+                    Some(d) => snapshot::num(d),
+                },
+            ),
+            ("observations".to_string(), snapshot::num(self.observations)),
+        ]);
+        Ok(JsonValue::Object(fields))
     }
 }
 

@@ -65,11 +65,13 @@ pub mod tree;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use alic_data::io::JsonValue;
 use alic_stats::rng::{seeded_stream, Rng as StatsRng, SmallRng};
 use alic_stats::FeatureMatrix;
 use rayon::prelude::*;
 
 use crate::leaf::{log_marginal_likelihood_of_sums, LeafPrior, LnGammaTable};
+use crate::snapshot::{self, Snapshot};
 use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
 use crate::{validate_training_set, ModelError, Result};
 
@@ -271,6 +273,104 @@ impl DynaTree {
             }
         }
         Ok(())
+    }
+
+    /// Rebuilds a model from a [`SurrogateModel::snapshot`] document. The
+    /// restored model is behaviorally bit-identical to the serialized one:
+    /// predictions, acquisition scores and every future update (including
+    /// the master resampling stream, which resumes mid-sequence) continue
+    /// exactly where it stopped. Retired zero-reference arena slots are
+    /// stored as nulls and restored as placeholders — their contents are
+    /// only ever overwritten, never read.
+    pub(crate) fn from_snapshot(doc: &JsonValue) -> Result<Self> {
+        let config = DynaTreeConfig {
+            particles: snapshot::get_usize(doc, "config_particles")?,
+            alpha: snapshot::get_hex_f64(doc, "config_alpha")?,
+            beta: snapshot::get_hex_f64(doc, "config_beta")?,
+            min_leaf: snapshot::get_usize(doc, "config_min_leaf")?,
+            grow_attempts: snapshot::get_usize(doc, "config_grow_attempts")?,
+            seed: snapshot::get_hex_u64(doc, "config_seed")?,
+        };
+        let prior = LeafPrior {
+            mean: snapshot::get_hex_f64(doc, "prior_mean")?,
+            kappa: snapshot::get_hex_f64(doc, "prior_kappa")?,
+            shape: snapshot::get_hex_f64(doc, "prior_shape")?,
+            scale: snapshot::get_hex_f64(doc, "prior_scale")?,
+        };
+        let dim = snapshot::get_usize(doc, "xs_dim")?.max(1);
+        let flat = snapshot::get_hex_f64s(doc, "xs")?;
+        if flat.len() % dim != 0 {
+            return Err(snapshot::err("field xs: length is not a multiple of dim"));
+        }
+        let ys = snapshot::get_hex_f64s(doc, "ys")?;
+        if flat.len() / dim != ys.len() {
+            return Err(snapshot::err("fields xs/ys: row counts disagree"));
+        }
+        let mut xs = FeatureMatrix::with_capacity(dim, ys.len());
+        for row in flat.chunks_exact(dim) {
+            xs.push_row(row);
+        }
+        let particles = snapshot::get_hex_u32s(doc, "particles")?;
+        let rng_words = snapshot::get_hex_u32s(doc, "rng")?;
+        let rng = StatsRng::from_state_words(&rng_words)
+            .ok_or_else(|| snapshot::err("field rng: malformed generator state"))?;
+        let dimension = match snapshot::get(doc, "dimension")? {
+            JsonValue::Null => None,
+            _ => Some(snapshot::get_usize(doc, "dimension")?),
+        };
+        let depth_bound = snapshot::get_usize(doc, "depth_bound")?;
+        let mut table = LnGammaTable::new(&prior);
+        table.ensure(ys.len().max(1));
+        let arena_docs = snapshot::get_array(doc, "arenas")?;
+        let mut arena_refs = vec![0u32; arena_docs.len()];
+        for &slot in &particles {
+            let Some(refs) = arena_refs.get_mut(slot as usize) else {
+                return Err(snapshot::err(format!("particle slot {slot} out of range")));
+            };
+            *refs += 1;
+        }
+        let mut arenas = Vec::with_capacity(arena_docs.len());
+        {
+            let ctx = MomentCtx {
+                prior: &prior,
+                table: &table,
+            };
+            for (slot, tree_doc) in arena_docs.iter().enumerate() {
+                if arena_refs[slot] == 0 {
+                    arenas.push(ParticleTree::placeholder());
+                } else if tree_doc.is_null() {
+                    return Err(snapshot::err(format!(
+                        "arena slot {slot} is live but stored as null"
+                    )));
+                } else {
+                    arenas.push(ParticleTree::from_snapshot(tree_doc, &ctx, ys.len())?);
+                }
+            }
+        }
+        let arena_free: Vec<u32> = arena_refs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &refs)| refs == 0)
+            .map(|(slot, _)| slot as u32)
+            .collect();
+        let mut model = DynaTree {
+            config,
+            prior,
+            xs,
+            ys,
+            arenas,
+            arena_refs,
+            arena_free,
+            particles,
+            rng,
+            dimension,
+            table,
+            split_prior: Vec::new(),
+            depth_bound,
+            scratch: UpdateScratch::default(),
+        };
+        model.ensure_split_prior(model.depth_bound + 2);
+        Ok(model)
     }
 
     fn check_dimension(&self, x: &[f64]) -> Result<()> {
@@ -919,6 +1019,84 @@ impl SurrogateModel for DynaTree {
     fn dimension(&self) -> Option<usize> {
         self.dimension
     }
+
+    fn snapshot(&self) -> Result<Snapshot> {
+        let mut arenas = Vec::with_capacity(self.arenas.len());
+        for (tree, &refs) in self.arenas.iter().zip(&self.arena_refs) {
+            arenas.push(if refs == 0 {
+                JsonValue::Null
+            } else {
+                tree.to_snapshot()?
+            });
+        }
+        let mut fields = snapshot::header("dynatree");
+        fields.extend([
+            (
+                "config_particles".to_string(),
+                snapshot::num(self.config.particles),
+            ),
+            (
+                "config_alpha".to_string(),
+                snapshot::hex_f64(self.config.alpha),
+            ),
+            (
+                "config_beta".to_string(),
+                snapshot::hex_f64(self.config.beta),
+            ),
+            (
+                "config_min_leaf".to_string(),
+                snapshot::num(self.config.min_leaf),
+            ),
+            (
+                "config_grow_attempts".to_string(),
+                snapshot::num(self.config.grow_attempts),
+            ),
+            (
+                "config_seed".to_string(),
+                snapshot::hex_u64(self.config.seed),
+            ),
+            ("prior_mean".to_string(), snapshot::hex_f64(self.prior.mean)),
+            (
+                "prior_kappa".to_string(),
+                snapshot::hex_f64(self.prior.kappa),
+            ),
+            (
+                "prior_shape".to_string(),
+                snapshot::hex_f64(self.prior.shape),
+            ),
+            (
+                "prior_scale".to_string(),
+                snapshot::hex_f64(self.prior.scale),
+            ),
+            ("xs_dim".to_string(), snapshot::num(self.xs.dim())),
+            (
+                "xs".to_string(),
+                snapshot::hex_f64s(self.xs.rows().flatten().copied()),
+            ),
+            (
+                "ys".to_string(),
+                snapshot::hex_f64s(self.ys.iter().copied()),
+            ),
+            (
+                "particles".to_string(),
+                snapshot::hex_u32s(self.particles.iter().copied()),
+            ),
+            (
+                "rng".to_string(),
+                snapshot::hex_u32s(self.rng.state_words()),
+            ),
+            (
+                "dimension".to_string(),
+                match self.dimension {
+                    None => JsonValue::Null,
+                    Some(d) => snapshot::num(d),
+                },
+            ),
+            ("depth_bound".to_string(), snapshot::num(self.depth_bound)),
+            ("arenas".to_string(), JsonValue::Array(arenas)),
+        ]);
+        Ok(JsonValue::Object(fields))
+    }
 }
 
 impl ActiveSurrogate for DynaTree {
@@ -1232,6 +1410,34 @@ mod tests {
         assert_eq!(
             model.update(&[f64::NAN], 1.0).unwrap_err(),
             ModelError::NonFiniteInput
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trip_continues_bit_identically() {
+        let mut a = fit_on(|x| (4.0 * x).sin(), 40, 41);
+        let text = a.snapshot().unwrap().to_json_string().unwrap();
+        let mut b = DynaTree::from_snapshot(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(a.predict(&[0.37]).unwrap(), b.predict(&[0.37]).unwrap());
+        // Further stochastic updates stay in lockstep: the master resampling
+        // stream resumes mid-sequence on the restored side.
+        for i in 0..12 {
+            let x = [(i as f64 * 0.083) % 1.0];
+            let y = (4.0 * x[0]).sin() + 0.01 * i as f64;
+            a.update(&x, y).unwrap();
+            b.update(&x, y).unwrap();
+        }
+        for i in 0..16 {
+            let x = [i as f64 / 15.0];
+            assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+        }
+        b.validate_caches().unwrap();
+        let reference: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let reference = views(&reference);
+        let candidates: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        assert_eq!(
+            a.alc_scores(&views(&candidates), &reference).unwrap(),
+            b.alc_scores(&views(&candidates), &reference).unwrap()
         );
     }
 

@@ -47,9 +47,11 @@
 //! both views from scratch and compares bitwise, which the root-level
 //! property tests exercise after arbitrary fit/update sequences.
 
+use alic_data::io::JsonValue;
 use alic_stats::FeatureMatrix;
 
 use crate::leaf::{LeafMoments, LeafPrior, LeafStats, LnGammaTable};
+use crate::snapshot;
 
 /// A proposed axis-aligned split.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -956,6 +958,205 @@ impl ParticleTree {
             }
         }
         Ok(())
+    }
+
+    /// Serializes the arena columns into a snapshot object (hex-packed via
+    /// [`crate::snapshot`]). The cached flat traversal and per-node moments
+    /// are derived views recomputed on restore, so only the defining columns
+    /// are stored.
+    pub(crate) fn to_snapshot(&self) -> crate::Result<JsonValue> {
+        let n = self.dim.len();
+        let mut stat_count = Vec::with_capacity(n);
+        let mut stat_mean = Vec::with_capacity(n);
+        let mut stat_m2 = Vec::with_capacity(n);
+        let mut stat_min = Vec::with_capacity(n);
+        let mut stat_max = Vec::with_capacity(n);
+        for stats in &self.stats {
+            let (count, mean, m2, min, max) = stats.parts();
+            stat_count
+                .push(u32::try_from(count).map_err(|_| snapshot::err("leaf count exceeds u32"))?);
+            stat_mean.push(mean);
+            stat_m2.push(m2);
+            stat_min.push(min);
+            stat_max.push(max);
+        }
+        Ok(JsonValue::Object(vec![
+            (
+                "dim".to_string(),
+                snapshot::hex_u32s(self.dim.iter().copied()),
+            ),
+            (
+                "threshold".to_string(),
+                snapshot::hex_f64s(self.threshold.iter().copied()),
+            ),
+            (
+                "left".to_string(),
+                snapshot::hex_u32s(self.left.iter().copied()),
+            ),
+            (
+                "right".to_string(),
+                snapshot::hex_u32s(self.right.iter().copied()),
+            ),
+            (
+                "parent".to_string(),
+                snapshot::hex_u32s(self.parent.iter().copied()),
+            ),
+            (
+                "depth".to_string(),
+                snapshot::hex_u32s(self.depth.iter().copied()),
+            ),
+            ("stat_count".to_string(), snapshot::hex_u32s(stat_count)),
+            ("stat_mean".to_string(), snapshot::hex_f64s(stat_mean)),
+            ("stat_m2".to_string(), snapshot::hex_f64s(stat_m2)),
+            ("stat_min".to_string(), snapshot::hex_f64s(stat_min)),
+            ("stat_max".to_string(), snapshot::hex_f64s(stat_max)),
+            (
+                "head".to_string(),
+                snapshot::hex_u32s(self.head.iter().copied()),
+            ),
+            (
+                "tail".to_string(),
+                snapshot::hex_u32s(self.tail.iter().copied()),
+            ),
+            (
+                "next".to_string(),
+                snapshot::hex_u32s(self.next.iter().copied()),
+            ),
+            (
+                "free".to_string(),
+                snapshot::hex_u32s(self.free.iter().copied()),
+            ),
+            (
+                "depth_bound".to_string(),
+                snapshot::num(self.depth_bound as usize),
+            ),
+            ("n_dims".to_string(), snapshot::num(self.n_dims)),
+            (
+                "bounds".to_string(),
+                snapshot::hex_f64s(self.bounds.iter().copied()),
+            ),
+        ]))
+    }
+
+    /// Rebuilds a tree from [`to_snapshot`](ParticleTree::to_snapshot)
+    /// columns, recomputing the flat traversal and the live-leaf moments.
+    /// `ctx.table` must cover `max_count` observations; live leaves claiming
+    /// more are rejected before the moment refresh could panic.
+    pub(crate) fn from_snapshot(
+        doc: &JsonValue,
+        ctx: &MomentCtx<'_>,
+        max_count: usize,
+    ) -> crate::Result<Self> {
+        let dim = snapshot::get_hex_u32s(doc, "dim")?;
+        let n = dim.len();
+        if n == 0 {
+            return Err(snapshot::err("tree snapshot has no nodes"));
+        }
+        let threshold = snapshot::get_hex_f64s(doc, "threshold")?;
+        let left = snapshot::get_hex_u32s(doc, "left")?;
+        let right = snapshot::get_hex_u32s(doc, "right")?;
+        let parent = snapshot::get_hex_u32s(doc, "parent")?;
+        let depth = snapshot::get_hex_u32s(doc, "depth")?;
+        let stat_count = snapshot::get_hex_u32s(doc, "stat_count")?;
+        let stat_mean = snapshot::get_hex_f64s(doc, "stat_mean")?;
+        let stat_m2 = snapshot::get_hex_f64s(doc, "stat_m2")?;
+        let stat_min = snapshot::get_hex_f64s(doc, "stat_min")?;
+        let stat_max = snapshot::get_hex_f64s(doc, "stat_max")?;
+        let head = snapshot::get_hex_u32s(doc, "head")?;
+        let tail = snapshot::get_hex_u32s(doc, "tail")?;
+        let next = snapshot::get_hex_u32s(doc, "next")?;
+        let free = snapshot::get_hex_u32s(doc, "free")?;
+        let depth_bound = snapshot::get_usize(doc, "depth_bound")?;
+        let n_dims = snapshot::get_usize(doc, "n_dims")?;
+        let bounds = snapshot::get_hex_f64s(doc, "bounds")?;
+        for (name, len) in [
+            ("threshold", threshold.len()),
+            ("left", left.len()),
+            ("right", right.len()),
+            ("parent", parent.len()),
+            ("depth", depth.len()),
+            ("stat_count", stat_count.len()),
+            ("stat_mean", stat_mean.len()),
+            ("stat_m2", stat_m2.len()),
+            ("stat_min", stat_min.len()),
+            ("stat_max", stat_max.len()),
+            ("head", head.len()),
+            ("tail", tail.len()),
+        ] {
+            if len != n {
+                return Err(snapshot::err(format!(
+                    "field {name}: expected {n} entries, got {len}"
+                )));
+            }
+        }
+        if bounds.len() != n * 2 * n_dims {
+            return Err(snapshot::err(format!(
+                "field bounds: expected {} entries, got {}",
+                n * 2 * n_dims,
+                bounds.len()
+            )));
+        }
+        let stats: Vec<LeafStats> = (0..n)
+            .map(|i| {
+                LeafStats::from_parts(
+                    stat_count[i] as usize,
+                    stat_mean[i],
+                    stat_m2[i],
+                    stat_min[i],
+                    stat_max[i],
+                )
+            })
+            .collect();
+        for i in 0..n {
+            if dim[i] < FREE_NODE {
+                if left[i] as usize >= n || right[i] as usize >= n {
+                    return Err(snapshot::err(format!("node {i}: child out of range")));
+                }
+                if dim[i] as usize >= n_dims {
+                    return Err(snapshot::err(format!(
+                        "node {i}: split dimension out of range"
+                    )));
+                }
+            }
+            if dim[i] == LEAF_NODE && stats[i].count() > max_count {
+                return Err(snapshot::err(format!(
+                    "leaf {i}: count exceeds the training set"
+                )));
+            }
+        }
+        if free.iter().any(|&slot| slot as usize >= n) {
+            return Err(snapshot::err("field free: slot out of range"));
+        }
+        let mut tree = ParticleTree {
+            dim,
+            threshold,
+            left,
+            right,
+            parent,
+            depth,
+            stats,
+            head,
+            tail,
+            next,
+            free,
+            depth_bound: u32::try_from(depth_bound)
+                .map_err(|_| snapshot::err("field depth_bound: exceeds u32"))?,
+            n_dims,
+            bounds,
+            flat: Vec::new(),
+            moments: Vec::new(),
+        };
+        tree.moments = (0..n)
+            .map(|i| {
+                if tree.dim[i] == LEAF_NODE {
+                    tree.stats[i].moments(ctx.prior, ctx.table)
+                } else {
+                    LeafMoments::default()
+                }
+            })
+            .collect();
+        tree.refresh_flat();
+        Ok(tree)
     }
 }
 

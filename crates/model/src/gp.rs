@@ -53,6 +53,9 @@ use alic_stats::cholesky::Cholesky;
 use alic_stats::matrix::squared_distance;
 use alic_stats::FeatureMatrix;
 
+use alic_data::io::JsonValue;
+
+use crate::snapshot::{self, Snapshot};
 use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
 use crate::{validate_training_set, ModelError, Result};
 
@@ -163,6 +166,60 @@ impl GaussianProcess {
     /// count unchanged.
     pub fn refactorizations(&self) -> usize {
         self.refactorizations
+    }
+
+    /// Rebuilds a process from a [`SurrogateModel::snapshot`] document; the
+    /// packed Cholesky factor is restored verbatim (never re-factorized), so
+    /// the restored model predicts bit-identically.
+    pub(crate) fn from_snapshot(doc: &JsonValue) -> Result<Self> {
+        let config = GpConfig {
+            lengthscale: snapshot::get_opt_hex_f64(doc, "config_lengthscale")?,
+            signal_variance: snapshot::get_opt_hex_f64(doc, "config_signal_variance")?,
+            noise_variance: snapshot::get_hex_f64(doc, "config_noise_variance")?,
+        };
+        let dim = snapshot::get_usize(doc, "xs_dim")?.max(1);
+        let flat = snapshot::get_hex_f64s(doc, "xs")?;
+        if flat.len() % dim != 0 {
+            return Err(snapshot::err("field xs: length is not a multiple of dim"));
+        }
+        let mut xs = FeatureMatrix::with_capacity(dim, flat.len() / dim);
+        for row in flat.chunks_exact(dim) {
+            xs.push_row(row);
+        }
+        let ys = snapshot::get_hex_f64s(doc, "ys")?;
+        let chol = match snapshot::get(doc, "chol")? {
+            JsonValue::Null => None,
+            packed => {
+                let data = snapshot::decode_hex_f64s(
+                    "chol",
+                    packed
+                        .as_str()
+                        .map_err(|e| snapshot::err(format!("field chol: {e}")))?,
+                )?;
+                Some(
+                    Cholesky::from_packed_factor(ys.len(), data)
+                        .map_err(|e| snapshot::err(format!("field chol: {e}")))?,
+                )
+            }
+        };
+        let dimension = match snapshot::get(doc, "dimension")? {
+            JsonValue::Null => None,
+            _ => Some(snapshot::get_usize(doc, "dimension")?),
+        };
+        Ok(GaussianProcess {
+            config,
+            xs,
+            ys,
+            mean: snapshot::get_hex_f64(doc, "mean")?,
+            lengthscale: snapshot::get_hex_f64(doc, "lengthscale")?,
+            signal_variance: snapshot::get_hex_f64(doc, "signal_variance")?,
+            jitter: snapshot::get_hex_f64(doc, "jitter")?,
+            kernel_rows: snapshot::get_hex_f64s(doc, "kernel_rows")?,
+            chol,
+            alpha: snapshot::get_hex_f64s(doc, "alpha")?,
+            dimension,
+            refactorizations: snapshot::get_usize(doc, "refactorizations")?,
+        })
     }
 
     fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
@@ -405,6 +462,70 @@ impl SurrogateModel for GaussianProcess {
 
     fn dimension(&self) -> Option<usize> {
         self.dimension
+    }
+
+    fn snapshot(&self) -> Result<Snapshot> {
+        let mut fields = snapshot::header("gp");
+        fields.extend([
+            (
+                "config_lengthscale".to_string(),
+                snapshot::opt_hex_f64(self.config.lengthscale),
+            ),
+            (
+                "config_signal_variance".to_string(),
+                snapshot::opt_hex_f64(self.config.signal_variance),
+            ),
+            (
+                "config_noise_variance".to_string(),
+                snapshot::hex_f64(self.config.noise_variance),
+            ),
+            ("xs_dim".to_string(), snapshot::num(self.xs.dim())),
+            (
+                "xs".to_string(),
+                snapshot::hex_f64s(self.xs.rows().flatten().copied()),
+            ),
+            (
+                "ys".to_string(),
+                snapshot::hex_f64s(self.ys.iter().copied()),
+            ),
+            ("mean".to_string(), snapshot::hex_f64(self.mean)),
+            (
+                "lengthscale".to_string(),
+                snapshot::hex_f64(self.lengthscale),
+            ),
+            (
+                "signal_variance".to_string(),
+                snapshot::hex_f64(self.signal_variance),
+            ),
+            ("jitter".to_string(), snapshot::hex_f64(self.jitter)),
+            (
+                "kernel_rows".to_string(),
+                snapshot::hex_f64s(self.kernel_rows.iter().copied()),
+            ),
+            (
+                "chol".to_string(),
+                match &self.chol {
+                    None => JsonValue::Null,
+                    Some(chol) => snapshot::hex_f64s(chol.packed().iter().copied()),
+                },
+            ),
+            (
+                "alpha".to_string(),
+                snapshot::hex_f64s(self.alpha.iter().copied()),
+            ),
+            (
+                "dimension".to_string(),
+                match self.dimension {
+                    None => JsonValue::Null,
+                    Some(d) => snapshot::num(d),
+                },
+            ),
+            (
+                "refactorizations".to_string(),
+                snapshot::num(self.refactorizations),
+            ),
+        ]);
+        Ok(JsonValue::Object(fields))
     }
 }
 

@@ -18,6 +18,9 @@ use alic_stats::matrix::squared_distance;
 use alic_stats::summary::Summary;
 use alic_stats::FeatureMatrix;
 
+use alic_data::io::JsonValue;
+
+use crate::snapshot::{self, Snapshot};
 use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
 use crate::{validate_training_set, ModelError, Result};
 
@@ -65,6 +68,31 @@ impl KnnRegressor {
     /// Creates an unfitted regressor averaging `k` neighbours.
     pub fn with_k(k: usize) -> Self {
         KnnRegressor::new(KnnConfig { k })
+    }
+
+    /// Rebuilds a regressor from a [`SurrogateModel::snapshot`] document.
+    pub(crate) fn from_snapshot(doc: &JsonValue) -> Result<Self> {
+        let dim = snapshot::get_usize(doc, "xs_dim")?.max(1);
+        let flat = snapshot::get_hex_f64s(doc, "xs")?;
+        if flat.len() % dim != 0 {
+            return Err(snapshot::err("field xs: length is not a multiple of dim"));
+        }
+        let mut xs = FeatureMatrix::with_capacity(dim, flat.len() / dim);
+        for row in flat.chunks_exact(dim) {
+            xs.push_row(row);
+        }
+        let dimension = match snapshot::get(doc, "dimension")? {
+            JsonValue::Null => None,
+            _ => Some(snapshot::get_usize(doc, "dimension")?),
+        };
+        Ok(KnnRegressor {
+            config: KnnConfig {
+                k: snapshot::get_usize(doc, "k")?,
+            },
+            xs,
+            ys: snapshot::get_hex_f64s(doc, "ys")?,
+            dimension,
+        })
     }
 
     fn check_dimension(&self, x: &[f64]) -> Result<()> {
@@ -148,6 +176,30 @@ impl SurrogateModel for KnnRegressor {
 
     fn dimension(&self) -> Option<usize> {
         self.dimension
+    }
+
+    fn snapshot(&self) -> Result<Snapshot> {
+        let mut fields = snapshot::header("knn");
+        fields.extend([
+            ("k".to_string(), snapshot::num(self.config.k)),
+            ("xs_dim".to_string(), snapshot::num(self.xs.dim())),
+            (
+                "xs".to_string(),
+                snapshot::hex_f64s(self.xs.rows().flatten().copied()),
+            ),
+            (
+                "ys".to_string(),
+                snapshot::hex_f64s(self.ys.iter().copied()),
+            ),
+            (
+                "dimension".to_string(),
+                match self.dimension {
+                    None => JsonValue::Null,
+                    Some(d) => snapshot::num(d),
+                },
+            ),
+        ]);
+        Ok(JsonValue::Object(fields))
     }
 }
 

@@ -87,6 +87,19 @@ impl LeafStats {
         }
     }
 
+    /// The accumulator parts `(count, mean, m2, min, max)` in
+    /// [`from_parts`](LeafStats::from_parts) order, so checkpointing codecs
+    /// can round-trip a leaf bit-exactly.
+    pub fn parts(&self) -> (usize, f64, f64, f64, f64) {
+        (
+            self.stats.count(),
+            self.stats.mean(),
+            self.stats.m2(),
+            self.stats.min(),
+            self.stats.max(),
+        )
+    }
+
     /// Number of targets in the leaf.
     pub fn count(&self) -> usize {
         self.stats.count()

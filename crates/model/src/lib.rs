@@ -55,6 +55,7 @@ pub mod gp;
 pub mod knn;
 pub mod leaf;
 pub mod sgp;
+pub mod snapshot;
 pub mod spec;
 pub mod traits;
 
@@ -89,6 +90,8 @@ pub enum ModelError {
     Numerical(String),
     /// A non-finite feature or target value was supplied.
     NonFiniteInput,
+    /// Serializing or restoring a model snapshot failed (see [`snapshot`]).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for ModelError {
@@ -104,6 +107,7 @@ impl std::fmt::Display for ModelError {
             ModelError::NotFitted => write!(f, "model has not been fitted yet"),
             ModelError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             ModelError::NonFiniteInput => write!(f, "input contained a non-finite value"),
+            ModelError::Snapshot(msg) => write!(f, "snapshot failure: {msg}"),
         }
     }
 }

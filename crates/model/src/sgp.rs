@@ -54,7 +54,10 @@ use alic_stats::cholesky::Cholesky;
 use alic_stats::matrix::squared_distance;
 use alic_stats::FeatureMatrix;
 
+use alic_data::io::JsonValue;
+
 use crate::gp::median_pairwise_distance;
+use crate::snapshot::{self, Snapshot};
 use crate::traits::{ActiveSurrogate, Prediction, SurrogateModel};
 use crate::{validate_training_set, ModelError, Result};
 
@@ -158,6 +161,66 @@ impl SparseGaussianProcess {
     /// Number of inducing points actually in use after fitting.
     pub fn inducing_count(&self) -> usize {
         self.inducing.len()
+    }
+
+    /// Rebuilds a sparse process from a [`SurrogateModel::snapshot`]
+    /// document; both packed factors are restored verbatim (never
+    /// re-factorized), so the restored model predicts bit-identically.
+    pub(crate) fn from_snapshot(doc: &JsonValue) -> Result<Self> {
+        let config = SparseGpConfig {
+            inducing: snapshot::get_usize(doc, "config_inducing")?,
+            lengthscale: snapshot::get_opt_hex_f64(doc, "config_lengthscale")?,
+            signal_variance: snapshot::get_opt_hex_f64(doc, "config_signal_variance")?,
+            noise_variance: snapshot::get_hex_f64(doc, "config_noise_variance")?,
+        };
+        let dim = snapshot::get_usize(doc, "inducing_dim")?.max(1);
+        let flat = snapshot::get_hex_f64s(doc, "inducing")?;
+        if flat.len() % dim != 0 {
+            return Err(snapshot::err(
+                "field inducing: length is not a multiple of dim",
+            ));
+        }
+        let mut inducing = FeatureMatrix::with_capacity(dim, flat.len() / dim);
+        for row in flat.chunks_exact(dim) {
+            inducing.push_row(row);
+        }
+        let m = inducing.len();
+        let factor = |name: &str| -> Result<Option<Cholesky>> {
+            match snapshot::get(doc, name)? {
+                JsonValue::Null => Ok(None),
+                packed => {
+                    let data = snapshot::decode_hex_f64s(
+                        name,
+                        packed
+                            .as_str()
+                            .map_err(|e| snapshot::err(format!("field {name}: {e}")))?,
+                    )?;
+                    Cholesky::from_packed_factor(m, data)
+                        .map(Some)
+                        .map_err(|e| snapshot::err(format!("field {name}: {e}")))
+                }
+            }
+        };
+        let dimension = match snapshot::get(doc, "dimension")? {
+            JsonValue::Null => None,
+            _ => Some(snapshot::get_usize(doc, "dimension")?),
+        };
+        Ok(SparseGaussianProcess {
+            config,
+            lm: factor("lm")?,
+            lp: factor("lp")?,
+            inducing,
+            u: snapshot::get_hex_f64s(doc, "u")?,
+            s: snapshot::get_hex_f64s(doc, "s")?,
+            weights: snapshot::get_hex_f64s(doc, "weights")?,
+            mean: snapshot::get_hex_f64(doc, "mean")?,
+            y_sum: snapshot::get_hex_f64(doc, "y_sum")?,
+            count: snapshot::get_usize(doc, "count")?,
+            lengthscale: snapshot::get_hex_f64(doc, "lengthscale")?,
+            signal_variance: snapshot::get_hex_f64(doc, "signal_variance")?,
+            kmm_jitter: snapshot::get_hex_f64(doc, "kmm_jitter")?,
+            dimension,
+        })
     }
 
     /// The lengthscale actually in use after fitting.
@@ -466,6 +529,68 @@ impl SurrogateModel for SparseGaussianProcess {
 
     fn dimension(&self) -> Option<usize> {
         self.dimension
+    }
+
+    fn snapshot(&self) -> Result<Snapshot> {
+        let factor = |chol: &Option<Cholesky>| match chol {
+            None => JsonValue::Null,
+            Some(c) => snapshot::hex_f64s(c.packed().iter().copied()),
+        };
+        let mut fields = snapshot::header("sgp");
+        fields.extend([
+            (
+                "config_inducing".to_string(),
+                snapshot::num(self.config.inducing),
+            ),
+            (
+                "config_lengthscale".to_string(),
+                snapshot::opt_hex_f64(self.config.lengthscale),
+            ),
+            (
+                "config_signal_variance".to_string(),
+                snapshot::opt_hex_f64(self.config.signal_variance),
+            ),
+            (
+                "config_noise_variance".to_string(),
+                snapshot::hex_f64(self.config.noise_variance),
+            ),
+            (
+                "inducing_dim".to_string(),
+                snapshot::num(self.inducing.dim()),
+            ),
+            (
+                "inducing".to_string(),
+                snapshot::hex_f64s(self.inducing.rows().flatten().copied()),
+            ),
+            ("lm".to_string(), factor(&self.lm)),
+            ("lp".to_string(), factor(&self.lp)),
+            ("u".to_string(), snapshot::hex_f64s(self.u.iter().copied())),
+            ("s".to_string(), snapshot::hex_f64s(self.s.iter().copied())),
+            (
+                "weights".to_string(),
+                snapshot::hex_f64s(self.weights.iter().copied()),
+            ),
+            ("mean".to_string(), snapshot::hex_f64(self.mean)),
+            ("y_sum".to_string(), snapshot::hex_f64(self.y_sum)),
+            ("count".to_string(), snapshot::num(self.count)),
+            (
+                "lengthscale".to_string(),
+                snapshot::hex_f64(self.lengthscale),
+            ),
+            (
+                "signal_variance".to_string(),
+                snapshot::hex_f64(self.signal_variance),
+            ),
+            ("kmm_jitter".to_string(), snapshot::hex_f64(self.kmm_jitter)),
+            (
+                "dimension".to_string(),
+                match self.dimension {
+                    None => JsonValue::Null,
+                    Some(d) => snapshot::num(d),
+                },
+            ),
+        ]);
+        Ok(JsonValue::Object(fields))
     }
 }
 

@@ -95,6 +95,25 @@ pub trait SurrogateModel: std::fmt::Debug {
 
     /// Input dimensionality, or `None` before fitting.
     fn dimension(&self) -> Option<usize>;
+
+    /// Serializes the complete trained state as a canonical-JSON snapshot
+    /// that [`crate::snapshot::restore_snapshot`] turns back into a model
+    /// whose every subsequent output (predictions, scores, RNG draws) is
+    /// bit-identical to the original's.
+    ///
+    /// Floating-point state is hex-bit-encoded (see [`crate::snapshot`]) so
+    /// the round-trip never loses a ULP. The default implementation refuses:
+    /// only the six [`crate::SurrogateSpec`] families opt in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ModelError::Snapshot`] when the model does not
+    /// support snapshotting or is not in a serializable state.
+    fn snapshot(&self) -> Result<crate::snapshot::Snapshot> {
+        Err(crate::ModelError::Snapshot(
+            "model family does not support snapshots".to_string(),
+        ))
+    }
 }
 
 /// A surrogate model that can score how useful it would be to observe a

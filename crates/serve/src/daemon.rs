@@ -17,6 +17,8 @@ use crate::engine::{Action, ConnState, Engine};
 use crate::protocol::PROTOCOL_VERSION;
 
 /// Runs the daemon over stdin/stdout until EOF, `quit`, or `shutdown`.
+/// Returns how many session flushes failed on the way out, so the binary's
+/// exit code can reflect volatile state instead of silently dropping it.
 ///
 /// Every session flushes to checkpoint on the way out, whatever ended the
 /// loop; a SIGKILL skips that, which is exactly the case the per-request
@@ -26,15 +28,14 @@ use crate::protocol::PROTOCOL_VERSION;
 ///
 /// Propagates stdin read errors (write errors end the loop like EOF: the
 /// one client is gone).
-pub fn serve_stdio(mut engine: Engine) -> std::io::Result<()> {
+pub fn serve_stdio(mut engine: Engine) -> std::io::Result<usize> {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut reader = ChaosLines::new(stdin.lock());
     let mut out = stdout.lock();
     let mut conn = ConnState::new();
     if write_reply(&mut out, &format!("ok {PROTOCOL_VERSION}")).is_err() {
-        engine.flush_all();
-        return Ok(());
+        return Ok(engine.flush_all());
     }
     while let Some(line) = reader.next_line()? {
         let response = engine.handle_line(&mut conn, &line);
@@ -48,8 +49,7 @@ pub fn serve_stdio(mut engine: Engine) -> std::io::Result<()> {
             Action::CloseConnection | Action::ShutdownDaemon => break,
         }
     }
-    engine.flush_all();
-    Ok(())
+    Ok(engine.flush_all())
 }
 
 enum EngineMsg {
@@ -105,8 +105,10 @@ fn engine_owner(mut engine: Engine, rx: mpsc::Receiver<EngineMsg>) {
                 }
                 let _ = reply.send((response.reply, close));
                 if shutdown {
-                    engine.flush_all();
-                    std::process::exit(0);
+                    // A nonzero exit reports sessions whose final flush
+                    // failed (their paths are already on stderr).
+                    let failures = engine.flush_all();
+                    std::process::exit(if failures > 0 { 1 } else { 0 });
                 }
             }
         }

@@ -31,14 +31,16 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use alic_core::runner::ledger::{quarantine_file, write_verified};
+use alic_core::warmstore::{WarmKey, WarmStore};
 use alic_model::spec::SurrogateSpec;
+use alic_sim::space::ParameterSpace;
 use alic_stats::fault::{inject, FaultSite};
 use alic_stats::rng::derive_seed2;
 
 use crate::protocol::{
     self, code, format_config, format_cost, sanitize, ErrReply, Request, MAX_LINE_BYTES,
 };
-use crate::session::TuningSession;
+use crate::session::{TuningSession, WarmStart};
 
 /// Subdirectory of the serve directory holding one checkpoint per session.
 pub const SESSIONS_DIR: &str = "sessions";
@@ -72,6 +74,14 @@ pub struct ServeConfig {
     /// replied-⇒-durable guarantee; larger values trade a bounded window of
     /// acknowledged-but-volatile observations for fewer writes under load.
     pub checkpoint_every: usize,
+    /// Optional warm-start store path. `None` (the default) disables warm
+    /// starts entirely — every reply stays byte-identical to a build
+    /// without the store.
+    pub warm_store: Option<PathBuf>,
+    /// Noise-regime label namespacing warm-store keys, so surrogates
+    /// trained under an incompatible featurization (e.g. campaign
+    /// normalizers) never seed serve sessions.
+    pub noise_regime: String,
 }
 
 impl ServeConfig {
@@ -84,6 +94,8 @@ impl ServeConfig {
             max_live: DEFAULT_MAX_LIVE,
             deadline: DEFAULT_DEADLINE,
             checkpoint_every: 1,
+            warm_store: None,
+            noise_regime: "default".to_string(),
         }
     }
 }
@@ -151,6 +163,7 @@ pub struct Engine {
     clock: u64,
     next_id: u64,
     busy_streak: u32,
+    warm: Option<WarmStore>,
 }
 
 impl Engine {
@@ -180,13 +193,24 @@ impl Engine {
                 next_id = next_id.max(n + 1);
             }
         }
+        // A corrupt store quarantines inside `open` and comes back empty,
+        // so warm-start damage can never fail daemon startup.
+        let warm = config.warm_store.as_deref().map(WarmStore::open);
         Ok(Engine {
             config,
             live: BTreeMap::new(),
             clock: 0,
             next_id,
             busy_streak: 0,
+            warm,
         })
+    }
+
+    /// Warm-store hit/miss/store counters (`None` when disabled).
+    pub fn warm_counters(&self) -> Option<(u64, u64, u64)> {
+        self.warm
+            .as_ref()
+            .map(|w| (w.hits(), w.misses(), w.stores()))
     }
 
     /// The engine configuration.
@@ -297,7 +321,15 @@ impl Engine {
                 self.make_room()?;
                 let id = format!("s{:06}", self.next_id);
                 let seed = derive_seed2(self.config.seed, STREAM_SESSION_SEED, self.next_id);
-                let session = TuningSession::new(&id, kernel, space.clone(), spec, seed);
+                // Consult the warm store; a snapshot that fails to restore
+                // degrades silently to a cold session.
+                let session = self
+                    .probe_warm(kernel, space, spec)
+                    .and_then(|warm| {
+                        TuningSession::new_warm(&id, kernel, space.clone(), spec, seed, warm).ok()
+                    })
+                    .unwrap_or_else(|| TuningSession::new(&id, kernel, space.clone(), spec, seed));
+                let warm_obs = session.warm_observations();
                 // Durable before acknowledged: the session exists on disk
                 // before the client ever learns its id.
                 checkpoint_session(&self.session_path(&id), &session)?;
@@ -312,7 +344,11 @@ impl Engine {
                     },
                 );
                 conn.current = Some(id.clone());
-                Ok((format!("ok session {id} dim {dim}"), Action::Continue))
+                let reply = match warm_obs {
+                    Some(n) => format!("ok session {id} dim {dim} warm {n}"),
+                    None => format!("ok session {id} dim {dim}"),
+                };
+                Ok((reply, Action::Continue))
             }
             Request::Attach { id } => {
                 self.ensure_live(id)?;
@@ -365,16 +401,30 @@ impl Engine {
                     entry.dirty = 0;
                 }
                 if let Err(model_failure) = entry.session.apply_last() {
-                    // The model rejected the observation after it became
-                    // durable: roll the log back on disk too, then rebuild
-                    // the surrogate from the (restored) log so memory and
-                    // disk agree again. If even that fails, drop the live
-                    // entry — the next attach replays from the checkpoint.
+                    // The model rejected the observation: roll the log back
+                    // in memory, then bring the disk copy back in line.
                     entry.session.unrecord();
-                    let restore = checkpoint_session(&path, &entry.session)
-                        .and_then(|_| entry.session.rebuild().map_err(model_err));
-                    if restore.is_err() {
-                        self.live.remove(&id);
+                    if checkpoint_session(&path, &entry.session).is_ok() {
+                        // Disk and memory agree on the rolled-back log.
+                        entry.dirty = 0;
+                        if entry.session.rebuild().is_err() {
+                            // The surrogate would not rebuild; drop the
+                            // entry so the next attach replays from the
+                            // (now correct) checkpoint.
+                            self.live.remove(&id);
+                        }
+                    } else {
+                        // The rollback checkpoint failed, so the in-memory
+                        // log is the only correct copy: at cadence 1 the
+                        // disk still holds the rejected observation, at
+                        // larger cadences it may be missing acknowledged
+                        // ones. Keep the entry resident and dirty so a
+                        // later checkpoint, eviction, or flush repairs the
+                        // disk — dropping it here would resurrect the
+                        // rejected observation (or lose acknowledged ones)
+                        // on the next attach.
+                        entry.dirty = entry.dirty.max(1);
+                        let _ = entry.session.rebuild();
                     }
                     return Err(model_err(model_failure));
                 }
@@ -498,10 +548,13 @@ impl Engine {
     fn make_room(&mut self) -> Result<(), ErrReply> {
         let cap = self.config.max_live.max(1);
         while self.live.len() >= cap {
+            // Select the victim by reference — ties on `last_touch` break
+            // to the lexicographically smallest id — and clone the one
+            // winning id, not every id per comparison.
             let victim = self
                 .live
                 .iter()
-                .min_by_key(|(id, entry)| (entry.last_touch, (*id).clone()))
+                .min_by_key(|&(id, entry)| (entry.last_touch, id))
                 .map(|(id, _)| id.clone())
                 .expect("table is non-empty when at capacity");
             let dirty = self.live[&victim].dirty > 0;
@@ -519,15 +572,58 @@ impl Engine {
                     ));
                 }
             }
+            // An evicted session's trained surrogate is exactly what the
+            // warm store wants: harvest it before the entry disappears.
+            if let Some(entry) = self.live.get(&victim) {
+                Self::harvest_warm(&mut self.warm, &self.config.noise_regime, &entry.session);
+            }
             self.live.remove(&victim);
         }
         self.busy_streak = 0;
         Ok(())
     }
 
+    /// Builds the warm-store key for a session under this engine's noise
+    /// regime.
+    fn warm_key(noise: &str, kernel: &str, space: &ParameterSpace, spec: SurrogateSpec) -> WarmKey {
+        WarmKey::new(kernel, space, spec.name(), noise)
+    }
+
+    /// Looks up a cached surrogate for a prospective session. `None` when
+    /// the store is disabled or has no matching entry.
+    fn probe_warm(
+        &mut self,
+        kernel: &str,
+        space: &ParameterSpace,
+        spec: SurrogateSpec,
+    ) -> Option<WarmStart> {
+        let store = self.warm.as_mut()?;
+        let key = Self::warm_key(&self.config.noise_regime, kernel, space, spec);
+        let entry = store.probe(&key)?;
+        Some(WarmStart {
+            snapshot: entry.model.clone(),
+            observations: entry.observations,
+        })
+    }
+
+    /// Offers a session's trained surrogate to the warm store (associated
+    /// fn so callers can split the borrow of `self.warm` from `self.live`).
+    fn harvest_warm(warm: &mut Option<WarmStore>, noise: &str, session: &TuningSession) {
+        let Some(store) = warm.as_mut() else { return };
+        let Some((depth, snapshot)) = session.model_snapshot() else {
+            return;
+        };
+        let key = Self::warm_key(noise, session.kernel(), session.space(), session.spec());
+        store.insert(&key, depth, snapshot);
+    }
+
     /// Checkpoints every dirty live session (shutdown/EOF path), returning
     /// how many flushes failed. With the default cadence of 1 nothing is
-    /// ever dirty here.
+    /// ever dirty here. Each failure names its session path on stderr so
+    /// an operator can find (and the daemon's exit code can reflect) what
+    /// was left volatile. Fitted live surrogates are also harvested into
+    /// the warm store, which is then persisted — advisory, so store
+    /// failures are logged but never counted against the flush.
     pub fn flush_all(&mut self) -> usize {
         let mut failures = 0;
         let ids: Vec<String> = self.live.keys().cloned().collect();
@@ -536,7 +632,23 @@ impl Engine {
                 let path = self.session_path(&id);
                 match checkpoint_session(&path, &self.live[&id].session) {
                     Ok(()) => self.live.get_mut(&id).expect("present").dirty = 0,
-                    Err(_) => failures += 1,
+                    Err(e) => {
+                        failures += 1;
+                        eprintln!("alic-serve: flushing {} failed: {}", path.display(), e.msg);
+                    }
+                }
+            }
+        }
+        if self.warm.is_some() {
+            for entry in self.live.values() {
+                Self::harvest_warm(&mut self.warm, &self.config.noise_regime, &entry.session);
+            }
+            if let Some(store) = &self.warm {
+                if let Err(e) = store.save() {
+                    eprintln!(
+                        "alic-serve: saving warm store {} failed: {e}",
+                        store.path().display()
+                    );
                 }
             }
         }
@@ -717,6 +829,109 @@ mod tests {
             "ok attached s000000 obs 1"
         );
         assert_eq!(ok(&mut engine, &mut conn, "best"), "ok best 4 1.0");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eviction_ties_on_last_touch_break_to_the_smallest_id() {
+        let (mut engine, dir) = temp_engine("lru-tie");
+        engine.config.max_live = 2;
+        let mut conn = ConnState::new();
+        ok(&mut engine, &mut conn, "newsession k0 u:unroll:1:9");
+        ok(&mut engine, &mut conn, "newsession k1 u:unroll:1:9");
+        // Force the tie the LRU clock normally prevents.
+        for entry in engine.live.values_mut() {
+            entry.last_touch = 7;
+        }
+        ok(&mut engine, &mut conn, "newsession k2 u:unroll:1:9");
+        let resident: Vec<&String> = engine.live.keys().collect();
+        assert_eq!(resident, ["s000001", "s000002"], "s000000 should evict");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_store_seeds_sessions_across_restarts() {
+        let (mut engine, dir) = temp_engine("warm");
+        engine.config.warm_store = Some(dir.join("warm.json"));
+        engine.warm = Some(WarmStore::open(dir.join("warm.json")));
+        let mut conn = ConnState::new();
+        assert_eq!(
+            ok(
+                &mut engine,
+                &mut conn,
+                "newsession mvt u:unroll:1:9,t:cache-tile:0:5 gp"
+            ),
+            "ok session s000000 dim 2",
+            "empty store: cold reply is byte-identical to a store-less build"
+        );
+        for line in [
+            "observe 3,2 4.0",
+            "observe 9,1 3.1",
+            "observe 5,5 2.8",
+            "observe 6,3 3.4",
+            "observe 8,0 2.9",
+        ] {
+            ok(&mut engine, &mut conn, line);
+        }
+        assert_eq!(
+            engine.handle_line(&mut conn, "quit").action,
+            Action::CloseConnection
+        );
+        assert_eq!(engine.warm_counters(), Some((0, 1, 1)));
+        drop(engine);
+
+        let mut config = ServeConfig::new(&dir);
+        config.default_model = SurrogateSpec::from_name("gp").unwrap();
+        config.warm_store = Some(dir.join("warm.json"));
+        let mut engine = Engine::open(config).unwrap();
+        let mut conn = ConnState::new();
+        // Same kernel/space/family: seeded from the cached surrogate.
+        let reply = ok(
+            &mut engine,
+            &mut conn,
+            "newsession mvt u:unroll:1:9,t:cache-tile:0:5 gp",
+        );
+        assert_eq!(reply, "ok session s000001 dim 2 warm 5");
+        // Counters persist in the store file: 1 miss + 1 store from the
+        // first process, plus this hit.
+        assert_eq!(engine.warm_counters(), Some((1, 1, 1)));
+        // Model-driven from observation zero, and still fully functional.
+        ok(&mut engine, &mut conn, "suggest 2");
+        ok(&mut engine, &mut conn, "observe 4,4 2.7");
+        assert_eq!(ok(&mut engine, &mut conn, "best"), "ok best 4,4 2.7");
+        // A different space shape misses and starts cold.
+        let reply = ok(&mut engine, &mut conn, "newsession mvt u:unroll:1:5 gp");
+        assert_eq!(reply, "ok session s000002 dim 1");
+        // Warm sessions survive a second restart through their checkpoint
+        // alone (the store is advisory after creation).
+        ok(&mut engine, &mut conn, "attach s000001");
+        let suggest = ok(&mut engine, &mut conn, "suggest 3");
+        drop(engine);
+        let mut engine = Engine::open(ServeConfig::new(&dir)).unwrap();
+        let mut conn = ConnState::new();
+        assert_eq!(
+            ok(&mut engine, &mut conn, "attach s000001"),
+            "ok attached s000001 obs 1"
+        );
+        assert_eq!(ok(&mut engine, &mut conn, "suggest 3"), suggest);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_warm_store_degrades_to_cold_start() {
+        let (engine, dir) = temp_engine("warm-corrupt");
+        drop(engine);
+        std::fs::write(dir.join("warm.json"), "{half a store").unwrap();
+        let mut config = ServeConfig::new(&dir);
+        config.default_model = SurrogateSpec::from_name("gp").unwrap();
+        config.warm_store = Some(dir.join("warm.json"));
+        let mut engine = Engine::open(config).unwrap();
+        let mut conn = ConnState::new();
+        assert_eq!(
+            ok(&mut engine, &mut conn, "newsession mvt u:unroll:1:9"),
+            "ok session s000000 dim 1"
+        );
+        assert!(dir.join("warm.json.corrupt").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

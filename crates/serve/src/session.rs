@@ -1,19 +1,27 @@
 //! Tuning sessions: a live incremental surrogate plus its durable event log.
 //!
-//! A session never serializes model internals. Its checkpoint is an *event
-//! log* — (space, model family, seed, observations in arrival order) — and
-//! restoring replays that log through the same deterministic fit/update
-//! path the live session used. The PR 3/5 determinism contracts
+//! A cold session never serializes model internals. Its checkpoint is an
+//! *event log* — (space, model family, seed, observations in arrival order)
+//! — and restoring replays that log through the same deterministic
+//! fit/update path the live session used. The PR 3/5 determinism contracts
 //! (incremental update ≡ cold refit, thread-count-independent fits) are
 //! what make the replayed surrogate **bit-identical** to the one that was
 //! killed, which in turn makes the read-only requests (`suggest`, `best`)
 //! — pure functions of the log — byte-identical across a restart.
+//!
+//! A **warm-started** session additionally carries the seeding surrogate's
+//! snapshot (copied out of the warm store at creation) *inside its own
+//! checkpoint*, so the replay recipe becomes "restore the snapshot, then
+//! update once per logged observation" — still a pure function of the
+//! checkpoint bytes, never of the warm store's later contents.
 
 use std::collections::HashSet;
 
 use alic_data::io::JsonValue;
+use alic_model::snapshot::{restore_snapshot, Snapshot};
 use alic_model::spec::SurrogateSpec;
 use alic_model::traits::ActiveSurrogate;
+use alic_model::ModelError;
 use alic_sim::space::{Configuration, ParamKind, ParamSpec, ParameterSpace};
 use alic_stats::rng::seeded_substream;
 
@@ -36,6 +44,18 @@ pub const REFERENCE_WINDOW: usize = 32;
 /// the session seed.
 const STREAM_SUGGEST: u64 = 0x5347;
 
+/// A warm-start seed: the trained surrogate snapshot a session adopted at
+/// creation. Copied into the session checkpoint so replay never depends on
+/// the warm store again.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// `alic-model-snapshot/v1` document of the seeding surrogate.
+    pub snapshot: Snapshot,
+    /// Observations the seeding surrogate had been trained on (provenance
+    /// for replies and reporting; the snapshot itself carries the rows).
+    pub observations: usize,
+}
+
 /// One tuning session: identity, space, model family, and the observation
 /// log that *is* its durable state.
 #[derive(Debug)]
@@ -47,6 +67,7 @@ pub struct TuningSession {
     seed: u64,
     log: Vec<(Configuration, f64)>,
     model: Option<Box<dyn ActiveSurrogate + Send>>,
+    warm: Option<WarmStart>,
 }
 
 impl TuningSession {
@@ -66,7 +87,40 @@ impl TuningSession {
             seed,
             log: Vec::new(),
             model: None,
+            warm: None,
         }
+    }
+
+    /// Creates a session seeded from a previously trained surrogate
+    /// snapshot. The snapshot is restored immediately so a broken or
+    /// incompatible one is rejected here — callers degrade to a cold
+    /// [`TuningSession::new`] session on error.
+    ///
+    /// # Errors
+    ///
+    /// A `model` reply when the snapshot does not restore or its trained
+    /// dimension disagrees with the space.
+    pub fn new_warm(
+        id: impl Into<String>,
+        kernel: impl Into<String>,
+        space: ParameterSpace,
+        spec: SurrogateSpec,
+        seed: u64,
+        warm: WarmStart,
+    ) -> Result<TuningSession, ErrReply> {
+        let mut session = TuningSession::new(id, kernel, space, spec, seed);
+        session.warm = Some(warm);
+        session.rebuild().map_err(|e| {
+            ErrReply::new(
+                code::MODEL,
+                format!(
+                    "warm-starting session {}: {}",
+                    session.id,
+                    sanitize(&e.to_string())
+                ),
+            )
+        })?;
+        Ok(session)
     }
 
     /// The session identifier (`s000042`).
@@ -131,22 +185,29 @@ impl TuningSession {
         self.log.pop();
     }
 
-    /// Folds the most recently recorded observation into the surrogate:
-    /// nothing below [`FIT_MIN`] observations, an initial fit exactly at
-    /// [`FIT_MIN`], an incremental update after.
+    /// Folds the most recently recorded observation into the surrogate.
+    ///
+    /// Cold sessions do nothing below [`FIT_MIN`] observations, an initial
+    /// fit exactly at [`FIT_MIN`], an incremental update after. Warm
+    /// sessions inherit a fitted model at creation, so **every**
+    /// observation is an incremental update — no warmup phase.
     ///
     /// # Errors
     ///
     /// Propagates model errors (the caller rolls the observation back).
     pub fn apply_last(&mut self) -> alic_model::Result<()> {
         let n = self.log.len();
-        if n < FIT_MIN {
-            return Ok(());
-        }
-        if n == FIT_MIN || self.model.is_none() {
+        if self.warm.is_none() {
+            if n < FIT_MIN {
+                return Ok(());
+            }
+            if n == FIT_MIN || self.model.is_none() {
+                return self.rebuild();
+            }
+        } else if self.model.is_none() {
             return self.rebuild();
         }
-        let (config, cost) = self.log.last().expect("log is non-empty when n >= FIT_MIN");
+        let (config, cost) = self.log.last().expect("apply_last follows a record");
         let x = {
             let config = config.clone();
             let cost = *cost;
@@ -158,14 +219,31 @@ impl TuningSession {
     }
 
     /// Rebuilds the surrogate by replaying the log through the exact
-    /// sequence a live session performs: fit on the first [`FIT_MIN`]
-    /// observations, then one incremental update per later observation.
+    /// sequence a live session performs. Cold: fit on the first
+    /// [`FIT_MIN`] observations, then one incremental update per later
+    /// observation. Warm: restore the adopted snapshot, then one
+    /// incremental update per logged observation — bit-identical to the
+    /// live warm session by the snapshot round-trip contract.
     ///
     /// # Errors
     ///
     /// Leaves the model absent and propagates the first model error.
     pub fn rebuild(&mut self) -> alic_model::Result<()> {
         self.model = None;
+        if let Some(warm) = &self.warm {
+            let mut model = restore_snapshot(&warm.snapshot)?;
+            if model.dimension() != Some(self.space.dimension()) {
+                return Err(ModelError::Snapshot(
+                    "warm snapshot dimension disagrees with the session space".to_string(),
+                ));
+            }
+            let rows: Vec<Vec<f64>> = self.log.iter().map(|(c, _)| self.features(c)).collect();
+            for (row, (_, y)) in rows.iter().zip(&self.log) {
+                model.update(row, *y)?;
+            }
+            self.model = Some(model);
+            return Ok(());
+        }
         if self.log.len() < FIT_MIN {
             return Ok(());
         }
@@ -248,6 +326,21 @@ impl TuningSession {
         best
     }
 
+    /// Warm-start provenance: the observation count of the seeding
+    /// surrogate, or `None` for a cold session.
+    pub fn warm_observations(&self) -> Option<usize> {
+        self.warm.as_ref().map(|w| w.observations)
+    }
+
+    /// Serializes the trained surrogate for the warm store: `(training
+    /// depth, snapshot document)`. `None` when no model is fitted yet or
+    /// the family does not support snapshots.
+    pub fn model_snapshot(&self) -> Option<(usize, Snapshot)> {
+        let model = self.model.as_ref()?;
+        let doc = model.snapshot().ok()?;
+        Some((model.observation_count(), doc))
+    }
+
     /// Serializes the session checkpoint (canonical JSON + newline).
     ///
     /// # Errors
@@ -286,7 +379,7 @@ impl TuningSession {
                 ])
             })
             .collect();
-        let doc = JsonValue::Object(vec![
+        let mut fields = vec![
             (
                 "schema".to_string(),
                 JsonValue::String(SESSION_SCHEMA.to_string()),
@@ -305,7 +398,22 @@ impl TuningSession {
             ),
             ("space".to_string(), JsonValue::Array(params)),
             ("observations".to_string(), JsonValue::Array(observations)),
-        ]);
+        ];
+        // Cold checkpoints omit the field entirely, keeping their bytes
+        // identical to pre-warm-store builds.
+        if let Some(warm) = &self.warm {
+            fields.push((
+                "warm".to_string(),
+                JsonValue::Object(vec![
+                    (
+                        "observations".to_string(),
+                        JsonValue::Number(warm.observations as f64),
+                    ),
+                    ("snapshot".to_string(), warm.snapshot.clone()),
+                ]),
+            ));
+        }
+        let doc = JsonValue::Object(fields);
         doc.to_json_string()
             .map(|s| s + "\n")
             .map_err(|e| ErrReply::new(code::IO, format!("serializing session {}: {e}", self.id)))
@@ -326,8 +434,14 @@ impl TuningSession {
             JsonValue::parse(text).map_err(|e| corrupt(format!("unparseable checkpoint: {e}")))?;
         let mut session = Self::decode(&doc).map_err(corrupt)?;
         session.rebuild().map_err(|e| {
+            // A snapshot that no longer restores is damage to the
+            // checkpoint itself (quarantined), not a transient model fault.
+            let code = match &e {
+                ModelError::Snapshot(_) => code::CORRUPT,
+                _ => code::MODEL,
+            };
             ErrReply::new(
-                code::MODEL,
+                code,
                 format!(
                     "replaying session {}: {}",
                     session.id,
@@ -424,6 +538,22 @@ impl TuningSession {
                 return Err("observation cost is not finite".to_string());
             }
             session.log.push((config, cost));
+        }
+        if let JsonValue::Object(fields) = doc {
+            if let Some((_, warm_doc)) = fields.iter().find(|(k, _)| k == "warm") {
+                let observations = warm_doc
+                    .field("observations")
+                    .and_then(|v| v.as_usize())
+                    .map_err(|e| format!("warm: {e}"))?;
+                let snapshot = warm_doc
+                    .field("snapshot")
+                    .map_err(|e| format!("warm: {e}"))?
+                    .clone();
+                session.warm = Some(WarmStart {
+                    snapshot,
+                    observations,
+                });
+            }
         }
         Ok(session)
     }
@@ -522,6 +652,103 @@ mod tests {
             let err = TuningSession::from_checkpoint_str(broken).unwrap_err();
             assert_eq!(err.code, code::CORRUPT, "{broken:?}: {}", err.render());
         }
+    }
+
+    #[test]
+    fn warm_sessions_checkpoint_and_replay_bit_identically() {
+        for name in ["gp", "dynatree", "mean"] {
+            let spec = SurrogateSpec::from_name(name).unwrap();
+            // Train a donor session, snapshot its surrogate.
+            let mut donor = small_session(spec);
+            for (i, cost) in [4.0, 3.5, 3.8, 2.9, 3.1, 2.7].iter().enumerate() {
+                observe(&mut donor, vec![1 + i as u32, (i % 7) as u32], *cost);
+            }
+            let (depth, snapshot) = donor.model_snapshot().unwrap();
+            assert_eq!(depth, donor.observations());
+            // Seed a fresh session from it: fitted from observation zero.
+            let space = donor.space().clone();
+            let mut warm = TuningSession::new_warm(
+                "s000001",
+                "mvt",
+                space,
+                spec,
+                99,
+                WarmStart {
+                    snapshot,
+                    observations: depth,
+                },
+            )
+            .unwrap();
+            assert_eq!(warm.warm_observations(), Some(6));
+            assert!(
+                !warm.suggest(2).unwrap().is_empty(),
+                "{name}: model-driven suggest at 0 obs"
+            );
+            // Every observation is an incremental update (no FIT_MIN warmup),
+            // and the checkpoint replays to the same bits.
+            for (i, cost) in [2.6, 2.8, 2.4].iter().enumerate() {
+                observe(&mut warm, vec![7 + i as u32, (i % 7) as u32], *cost);
+            }
+            let text = warm.to_checkpoint_string().unwrap();
+            let restored = TuningSession::from_checkpoint_str(&text).unwrap();
+            assert_eq!(restored.to_checkpoint_string().unwrap(), text);
+            assert_eq!(restored.warm_observations(), Some(6));
+            for k in [1, 4] {
+                assert_eq!(
+                    warm.suggest(k).unwrap(),
+                    restored.suggest(k).unwrap(),
+                    "{name}: warm suggest({k}) diverged after restore"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broken_warm_snapshot_is_rejected_at_creation_and_corrupt_on_replay() {
+        let spec = SurrogateSpec::from_name("gp").unwrap();
+        let bogus = WarmStart {
+            snapshot: JsonValue::Object(vec![(
+                "schema".to_string(),
+                JsonValue::String("bogus/v9".to_string()),
+            )]),
+            observations: 5,
+        };
+        let space = small_session(spec).space().clone();
+        let err = TuningSession::new_warm("s000002", "mvt", space, spec, 7, bogus).unwrap_err();
+        assert_eq!(err.code, code::MODEL);
+        // A checkpoint whose embedded snapshot is damaged is corrupt.
+        let mut donor = small_session(spec);
+        for (i, cost) in [4.0, 3.5, 3.8, 2.9].iter().enumerate() {
+            observe(&mut donor, vec![1 + i as u32, i as u32], *cost);
+        }
+        let (depth, snapshot) = donor.model_snapshot().unwrap();
+        let warm = TuningSession::new_warm(
+            "s000003",
+            "mvt",
+            donor.space().clone(),
+            spec,
+            7,
+            WarmStart {
+                snapshot,
+                observations: depth,
+            },
+        )
+        .unwrap();
+        let text = warm.to_checkpoint_string().unwrap();
+        let sabotaged = text.replace("alic-model-snapshot/v1", "alic-model-snapshot/v9");
+        let err = TuningSession::from_checkpoint_str(&sabotaged).unwrap_err();
+        assert_eq!(err.code, code::CORRUPT, "{}", err.render());
+    }
+
+    #[test]
+    fn cold_checkpoints_carry_no_warm_field() {
+        let mut s = small_session(SurrogateSpec::from_name("gp").unwrap());
+        for (i, cost) in [4.0, 3.5, 3.8, 2.9, 3.1].iter().enumerate() {
+            observe(&mut s, vec![1 + i as u32, (i % 7) as u32], *cost);
+        }
+        let text = s.to_checkpoint_string().unwrap();
+        assert!(!text.contains("\"warm\""));
+        assert!(s.warm_observations().is_none());
     }
 
     #[test]

@@ -134,6 +134,32 @@ impl Cholesky {
         Ok(Cholesky { n, data })
     }
 
+    /// The packed row-major lower triangle of the factor `L` (row `i` holds
+    /// entries `(i, 0..=i)`), for checkpointing codecs that serialize a
+    /// factorization verbatim.
+    pub fn packed(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Reassembles a factorization from a [`packed`](Cholesky::packed)
+    /// snapshot **without** re-factorizing: `data` is trusted to already be
+    /// a valid lower-triangular factor, so the round-trip is bit-exact even
+    /// where a fresh decomposition would round differently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `data.len()` is not
+    /// `n(n+1)/2`.
+    pub fn from_packed_factor(n: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != row_offset(n) {
+            return Err(StatsError::DimensionMismatch {
+                expected: row_offset(n),
+                actual: data.len(),
+            });
+        }
+        Ok(Cholesky { n, data })
+    }
+
     /// Extends the factorization of an `n × n` matrix `A` to the
     /// `(n+1) × (n+1)` matrix bordered by `row`: `row[..n]` holds the new
     /// off-diagonal entries `A[n][0..n]` and `row[n]` the new diagonal entry.

@@ -1,0 +1,153 @@
+//! Fault-plane regression for the observe path's failure handling.
+//!
+//! When the surrogate rejects an observation *and* the rollback checkpoint
+//! cannot be written, the in-memory log is the only copy that still honors
+//! every `ok observed` already sent. The engine must keep that entry
+//! resident and dirty; an earlier version dropped it, so the next `attach`
+//! replayed a stale checkpoint — losing acknowledged observations at
+//! cadence > 1 (and resurrecting the rejected one at cadence 1).
+//!
+//! Every test here manipulates the process-global fault plane, so this
+//! binary holds the exclusive chaos lock for the whole test and must not
+//! share a binary with unguarded tests.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use alic::model::SurrogateSpec;
+use alic::serve::{ConnState, Engine, ServeConfig};
+use alic::stats::fault::{self, FaultPlan, FaultSite};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "alic-observe-faults-{label}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const NEWSESSION: &str = "newsession mvt u:unroll:1:20,t:cache-tile:0:6 gp";
+
+#[test]
+fn failed_observe_with_failed_rollback_checkpoint_keeps_memory_authoritative() {
+    // Hold the exclusive chaos lock with the plane off; faults are armed
+    // mid-test for exactly one request.
+    let _guard = fault::exclusive_clean();
+    let dir = temp_dir("rollback");
+
+    let mut config = ServeConfig::new(&dir);
+    config.default_model = SurrogateSpec::from_name("gp").unwrap();
+    config.checkpoint_every = 10; // no cadence checkpoint inside this test
+    let mut engine = Engine::open(config).unwrap();
+    let mut conn = ConnState::new();
+    let reply = engine.handle_line(&mut conn, NEWSESSION).reply.unwrap();
+    assert_eq!(reply, "ok session s000000 dim 2");
+
+    for line in ["observe 3,2 4.0", "observe 9,1 3.1", "observe 14,5 2.8"] {
+        let reply = engine.handle_line(&mut conn, line).reply.unwrap();
+        assert!(reply.starts_with("ok observed"), "{reply}");
+    }
+
+    // The fourth observation reaches FIT_MIN, so it triggers the first
+    // real fit — which jitter exhaustion fails — and the rollback
+    // checkpoint, which write faults fail (write_verified retries are
+    // covered by the generous budget).
+    fault::install(
+        FaultPlan::new(11)
+            .with_site(FaultSite::JitterExhaustion, 1.0, Some(1))
+            .with_site(FaultSite::WriteIo, 1.0, Some(50)),
+    );
+    let reply = engine
+        .handle_line(&mut conn, "observe 6,3 3.4")
+        .reply
+        .unwrap();
+    assert!(reply.starts_with("err model"), "{reply}");
+    fault::deactivate();
+
+    // Regression: the three acknowledged observations must survive in
+    // memory even though the rollback checkpoint failed. The old code
+    // dropped the live entry here, so attach replayed the 0-observation
+    // checkpoint written at newsession time.
+    let reply = engine
+        .handle_line(&mut conn, "attach s000000")
+        .reply
+        .unwrap();
+    assert_eq!(reply, "ok attached s000000 obs 3");
+
+    // With the plane clean, the same observation is accepted on retry...
+    let reply = engine
+        .handle_line(&mut conn, "observe 6,3 3.4")
+        .reply
+        .unwrap();
+    assert_eq!(reply, "ok observed 4");
+
+    // ...and the still-dirty entry flushes, making all four durable.
+    let reply = engine.handle_line(&mut conn, "checkpoint").reply.unwrap();
+    assert!(reply.starts_with("ok checkpoint"), "{reply}");
+    drop(engine);
+
+    let mut config = ServeConfig::new(&dir);
+    config.default_model = SurrogateSpec::from_name("gp").unwrap();
+    let mut engine = Engine::open(config).unwrap();
+    let mut conn = ConnState::new();
+    let reply = engine
+        .handle_line(&mut conn, "attach s000000")
+        .reply
+        .unwrap();
+    assert_eq!(reply, "ok attached s000000 obs 4");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn failed_observe_with_successful_rollback_checkpoint_stays_consistent() {
+    // Companion case: the rollback checkpoint succeeds, so disk and memory
+    // agree on the rolled-back log and the session keeps serving.
+    let _guard = fault::exclusive_clean();
+    let dir = temp_dir("repair");
+
+    let mut config = ServeConfig::new(&dir);
+    config.default_model = SurrogateSpec::from_name("gp").unwrap();
+    config.checkpoint_every = 10;
+    let mut engine = Engine::open(config).unwrap();
+    let mut conn = ConnState::new();
+    engine.handle_line(&mut conn, NEWSESSION).reply.unwrap();
+    for line in ["observe 3,2 4.0", "observe 9,1 3.1", "observe 14,5 2.8"] {
+        engine.handle_line(&mut conn, line).reply.unwrap();
+    }
+
+    // Only the fit fails; the rollback checkpoint goes through.
+    fault::install(FaultPlan::new(23).with_site(FaultSite::JitterExhaustion, 1.0, Some(1)));
+    let reply = engine
+        .handle_line(&mut conn, "observe 6,3 3.4")
+        .reply
+        .unwrap();
+    assert!(reply.starts_with("err model"), "{reply}");
+    fault::deactivate();
+
+    // Memory and the (repaired) checkpoint both hold three observations:
+    // a restarted daemon sees exactly what the live one reports.
+    let reply = engine
+        .handle_line(&mut conn, "attach s000000")
+        .reply
+        .unwrap();
+    assert_eq!(reply, "ok attached s000000 obs 3");
+    drop(engine);
+
+    let mut config = ServeConfig::new(&dir);
+    config.default_model = SurrogateSpec::from_name("gp").unwrap();
+    let mut engine = Engine::open(config).unwrap();
+    let mut conn = ConnState::new();
+    let reply = engine
+        .handle_line(&mut conn, "attach s000000")
+        .reply
+        .unwrap();
+    assert_eq!(reply, "ok attached s000000 obs 3");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -34,6 +34,45 @@ fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d
 }
 
 impl ChaCha12Rng {
+    /// Number of `u32` words in a full state snapshot
+    /// ([`state_words`](Self::state_words)): input block, keystream buffer,
+    /// and the read index.
+    pub const STATE_WORDS: usize = 2 * BLOCK_WORDS + 1;
+
+    /// Captures the complete generator state — input block, buffered
+    /// keystream, and read index — as `STATE_WORDS` words, so a generator
+    /// mid-stream can be serialized and resumed bit-exactly with
+    /// [`from_state_words`](Self::from_state_words).
+    pub fn state_words(&self) -> [u32; Self::STATE_WORDS] {
+        let mut words = [0u32; Self::STATE_WORDS];
+        words[..BLOCK_WORDS].copy_from_slice(&self.state);
+        words[BLOCK_WORDS..2 * BLOCK_WORDS].copy_from_slice(&self.buffer);
+        words[2 * BLOCK_WORDS] = self.index as u32;
+        words
+    }
+
+    /// Rebuilds a generator from a [`state_words`](Self::state_words)
+    /// snapshot; the resumed stream continues exactly where the captured one
+    /// stood. Returns `None` when the word count or read index is invalid.
+    pub fn from_state_words(words: &[u32]) -> Option<Self> {
+        if words.len() != Self::STATE_WORDS {
+            return None;
+        }
+        let index = words[2 * BLOCK_WORDS] as usize;
+        if index > BLOCK_WORDS {
+            return None;
+        }
+        let mut state = [0u32; BLOCK_WORDS];
+        let mut buffer = [0u32; BLOCK_WORDS];
+        state.copy_from_slice(&words[..BLOCK_WORDS]);
+        buffer.copy_from_slice(&words[BLOCK_WORDS..2 * BLOCK_WORDS]);
+        Some(ChaCha12Rng {
+            state,
+            buffer,
+            index,
+        })
+    }
+
     fn refill(&mut self) {
         let mut working = self.state;
         for _ in 0..6 {
@@ -134,6 +173,23 @@ mod tests {
         let n = 20_000;
         let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn state_words_round_trip_resumes_mid_stream() {
+        let mut rng = ChaCha12Rng::seed_from_u64(77);
+        for _ in 0..41 {
+            rng.next_u32();
+        }
+        let words = rng.state_words();
+        let mut resumed = ChaCha12Rng::from_state_words(&words).unwrap();
+        let a: Vec<u64> = (0..64).map(|_| rng.next_u64()).collect();
+        let b: Vec<u64> = (0..64).map(|_| resumed.next_u64()).collect();
+        assert_eq!(a, b);
+        assert!(ChaCha12Rng::from_state_words(&words[..32]).is_none());
+        let mut bad = words;
+        bad[32] = BLOCK_WORDS as u32 + 1;
+        assert!(ChaCha12Rng::from_state_words(&bad).is_none());
     }
 
     #[test]
