@@ -23,8 +23,8 @@
 //! inputs come out identical.
 
 pub use alic_stats::fault::{
-    deactivate, exclusive, exclusive_clean, inject, injections, install, is_active, ChaosGuard,
-    FaultPlan, FaultSite, SiteSpec, CHAOS_ENV,
+    deactivate, exclusive, exclusive_clean, inject, injections, install, is_active, plan_seed,
+    ChaosGuard, FaultPlan, FaultSite, SiteSpec, CHAOS_ENV,
 };
 
 use alic_sim::profiler::{Measurement, Profiler};

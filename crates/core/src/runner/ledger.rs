@@ -29,8 +29,9 @@
 //! filesystem (transient write errors, torn data that *looks* committed).
 //! Three layers defend against that, all exercised by the chaos suite:
 //!
-//! * every write retries with bounded exponential backoff
-//!   ([`write_atomic`]),
+//! * every write retries under the unified retry policy
+//!   ([`write_atomic`] via `alic_stats::policy::RetryPolicy::LEDGER` —
+//!   capped exponential backoff with deterministic jitter),
 //! * the manifest and the merged report are verified by read-back after
 //!   every write and rewritten on mismatch ([`write_verified`]); a
 //!   truncated manifest or report found on open is quarantined to
@@ -43,9 +44,9 @@
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
 
 use alic_data::io::JsonValue;
+use alic_stats::policy::{PolicySite, RetryPolicy};
 
 use crate::fault::{inject, FaultSite};
 use crate::runner::{codec, CampaignReport, CampaignSpec, UnitRecord};
@@ -315,12 +316,15 @@ pub fn quarantine_file(path: &Path) -> Result<()> {
 }
 
 /// Bounded retry attempts for one atomic write (and for one read-back
-/// verification loop in [`write_verified`]).
-pub const WRITE_ATTEMPTS: usize = 5;
+/// verification loop in [`write_verified`]). Mirrors
+/// [`RetryPolicy::LEDGER`]'s attempt count.
+pub const WRITE_ATTEMPTS: usize = RetryPolicy::LEDGER.attempts as usize;
 
 /// Writes `contents` to `path` atomically (write to a unique `*.tmp`, then
-/// rename into place), retrying transient failures with bounded exponential
-/// backoff. Also the durability primitive behind serve-session checkpoints.
+/// rename into place), retrying transient failures under
+/// [`RetryPolicy::LEDGER`] — capped exponential backoff whose jitter is
+/// deterministic under the fault plane. Also the durability primitive behind
+/// serve-session checkpoints.
 ///
 /// # Errors
 ///
@@ -328,28 +332,11 @@ pub const WRITE_ATTEMPTS: usize = 5;
 /// always a structured [`CoreError`], never a panic, so exhausted retries
 /// cannot abort a healing pass or take down a daemon request loop.
 pub fn write_atomic(path: &Path, contents: &str) -> Result<()> {
-    // Transient I/O errors (and the chaos plane's injected ones) are retried
-    // with a short exponential backoff; only a persistently failing
-    // filesystem surfaces as an error.
-    let mut last = None;
-    for attempt in 0..WRITE_ATTEMPTS {
-        if attempt > 0 {
-            std::thread::sleep(Duration::from_millis(1 << attempt));
-        }
-        match write_atomic_once(path, contents) {
-            Ok(()) => return Ok(()),
-            Err(e) => last = Some(e),
-        }
-    }
-    match last {
-        Some(e) => Err(CoreError::Io(e)),
-        // Unreachable with WRITE_ATTEMPTS > 0, but a miscounted loop must
-        // degrade to a structured error, not a panic mid-heal.
-        None => Err(CoreError::Campaign(format!(
-            "atomic write of {} made no attempts (WRITE_ATTEMPTS = {WRITE_ATTEMPTS})",
-            path.display()
-        ))),
-    }
+    RetryPolicy::LEDGER
+        .run(PolicySite::LedgerWrite, |_| {
+            write_atomic_once(path, contents)
+        })
+        .map_err(CoreError::Io)
 }
 
 fn write_atomic_once(path: &Path, contents: &str) -> std::io::Result<()> {
@@ -367,6 +354,17 @@ fn write_atomic_once(path: &Path, contents: &str) -> std::io::Result<()> {
     if inject(FaultSite::WriteIo) {
         return Err(std::io::Error::other(
             "chaos: injected transient write failure",
+        ));
+    }
+    if inject(FaultSite::Enospc) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::StorageFull,
+            "chaos: injected out-of-space write failure (ENOSPC)",
+        ));
+    }
+    if inject(FaultSite::FdLimit) {
+        return Err(std::io::Error::other(
+            "chaos: injected file-descriptor exhaustion (EMFILE)",
         ));
     }
     // A torn write is the one fault atomic rename cannot see: the data lands

@@ -7,37 +7,83 @@
 //! multiplex their fit/update work onto the rayon pool — stay
 //! single-owner. Connection I/O goes through the [`crate::chaos`] wrappers
 //! so the fault plane reaches the wire.
+//!
+//! Both transports treat SIGTERM as a drain request (see [`crate::term`]):
+//! the loop stops admitting input, every session flushes to checkpoint, and
+//! the structured [`DrainSummary`] goes to stderr — the same report the
+//! `drain` verb returns inline. The exit code reflects flush failures so a
+//! supervisor can tell a clean drain from one that left volatile state.
 
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc;
+use std::time::Duration;
 
 use crate::chaos::{write_reply, ChaosLines};
-use crate::engine::{Action, ConnState, Engine};
+use crate::engine::{Action, ConnState, DrainSummary, Engine};
 use crate::protocol::PROTOCOL_VERSION;
 
-/// Runs the daemon over stdin/stdout until EOF, `quit`, or `shutdown`.
-/// Returns how many session flushes failed on the way out, so the binary's
-/// exit code can reflect volatile state instead of silently dropping it.
+/// How often the transport loops poll the SIGTERM flag between requests.
+const TERM_POLL: Duration = Duration::from_millis(25);
+
+/// Renders a flush/drain summary to stderr and returns its failure count,
+/// so both transports (and both exit paths: EOF and SIGTERM) report
+/// identically.
+fn report(summary: &DrainSummary) -> usize {
+    eprintln!("alic-serve: {}", summary.render_detailed());
+    summary.failed_count()
+}
+
+/// Runs the daemon over stdin/stdout until EOF, `quit`, `shutdown`, or
+/// SIGTERM. Returns how many session flushes failed on the way out, so the
+/// binary's exit code can reflect volatile state instead of silently
+/// dropping it.
 ///
 /// Every session flushes to checkpoint on the way out, whatever ended the
 /// loop; a SIGKILL skips that, which is exactly the case the per-request
-/// checkpoints already cover.
+/// checkpoints already cover. SIGTERM additionally pins the engine in the
+/// draining state before the flush, so nothing new is admitted while the
+/// process winds down.
 ///
 /// # Errors
 ///
 /// Propagates stdin read errors (write errors end the loop like EOF: the
 /// one client is gone).
 pub fn serve_stdio(mut engine: Engine) -> std::io::Result<usize> {
-    let stdin = std::io::stdin();
+    let term = crate::term::install();
     let stdout = std::io::stdout();
-    let mut reader = ChaosLines::new(stdin.lock());
     let mut out = stdout.lock();
     let mut conn = ConnState::new();
     if write_reply(&mut out, &format!("ok {PROTOCOL_VERSION}")).is_err() {
-        return Ok(engine.flush_all());
+        return Ok(report(&engine.flush_all()));
     }
-    while let Some(line) = reader.next_line()? {
+    // Stdin reads block (and std retries EINTR), so a signal cannot wake
+    // the read itself: a reader thread feeds lines over a channel and the
+    // main loop polls the term flag between receives.
+    let (line_tx, line_rx) = mpsc::channel::<std::io::Result<Option<String>>>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut reader = ChaosLines::new(stdin.lock());
+        loop {
+            let item = reader.next_line();
+            let done = !matches!(item, Ok(Some(_)));
+            if line_tx.send(item).is_err() || done {
+                break;
+            }
+        }
+    });
+    loop {
+        if term.load(Ordering::Acquire) {
+            return Ok(report(&engine.drain()));
+        }
+        let line = match line_rx.recv_timeout(TERM_POLL) {
+            Ok(Ok(Some(line))) => line,
+            Ok(Ok(None)) => break,
+            Ok(Err(e)) => return Err(e),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
         let response = engine.handle_line(&mut conn, &line);
         if let Some(reply) = &response.reply {
             if write_reply(&mut out, reply).is_err() {
@@ -49,7 +95,7 @@ pub fn serve_stdio(mut engine: Engine) -> std::io::Result<usize> {
             Action::CloseConnection | Action::ShutdownDaemon => break,
         }
     }
-    Ok(engine.flush_all())
+    Ok(report(&engine.flush_all()))
 }
 
 enum EngineMsg {
@@ -61,11 +107,15 @@ enum EngineMsg {
     Close {
         conn: u64,
     },
+    /// SIGTERM arrived: drain and exit (queued like any request, so
+    /// requests already in flight finish first).
+    Drain,
 }
 
 /// Runs the daemon on a TCP listener; one thread per connection, one owner
 /// thread for the engine. `shutdown` flushes every session and exits the
-/// process (the accept loop holds no state worth unwinding).
+/// process (the accept loop holds no state worth unwinding); SIGTERM
+/// drains through the same owner-thread queue.
 ///
 /// # Errors
 ///
@@ -73,6 +123,15 @@ enum EngineMsg {
 pub fn serve_tcp(engine: Engine, addr: &str) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     let (tx, rx) = mpsc::channel::<EngineMsg>();
+    let term = crate::term::install();
+    let term_tx = tx.clone();
+    std::thread::spawn(move || loop {
+        if term.load(Ordering::Acquire) {
+            let _ = term_tx.send(EngineMsg::Drain);
+            break;
+        }
+        std::thread::sleep(TERM_POLL);
+    });
     std::thread::spawn(move || engine_owner(engine, rx));
     let mut next_conn = 0u64;
     for stream in listener.incoming() {
@@ -95,6 +154,10 @@ fn engine_owner(mut engine: Engine, rx: mpsc::Receiver<EngineMsg>) {
             EngineMsg::Close { conn } => {
                 conns.remove(&conn);
             }
+            EngineMsg::Drain => {
+                let failures = report(&engine.drain());
+                std::process::exit(if failures > 0 { 1 } else { 0 });
+            }
             EngineMsg::Line { conn, line, reply } => {
                 let state = conns.entry(conn).or_default();
                 let response = engine.handle_line(state, &line);
@@ -106,8 +169,8 @@ fn engine_owner(mut engine: Engine, rx: mpsc::Receiver<EngineMsg>) {
                 let _ = reply.send((response.reply, close));
                 if shutdown {
                     // A nonzero exit reports sessions whose final flush
-                    // failed (their paths are already on stderr).
-                    let failures = engine.flush_all();
+                    // failed (the summary is already on stderr).
+                    let failures = report(&engine.flush_all());
                     std::process::exit(if failures > 0 { 1 } else { 0 });
                 }
             }

@@ -23,24 +23,39 @@
 //!   attaching one more evicts the least-recently-used idle session to its
 //!   checkpoint. When even eviction fails (e.g. a failing disk), requests
 //!   are shed with `err busy retry-after-ms <hint>`, the hint backing off
-//!   exponentially while the condition persists.
+//!   exponentially (via [`RetryPolicy::SERVE_HINT`]) while the condition
+//!   persists.
+//! * **The degradation ladder** ([`HealthState`]): resource pressure walks
+//!   the engine down `Healthy → SheddingWrites` (checkpoint writes failing:
+//!   observes shed with `err degraded retry-after-ms`, reads still served)
+//!   `→ ReadOnly` (eviction impossible: only `suggest`/`best`/`sessions`)
+//!   `→ Draining` (terminal: state flushed, nothing new admitted). A
+//!   successful probe write promotes the engine back to `Healthy`
+//!   automatically. The `health` verb reports the state plus per-site
+//!   injection and retry counters; `drain` flushes everything and reports
+//!   per-session outcomes as one [`DrainSummary`].
+//! * **Watchdog**: a request exceeding its deadline by
+//!   [`ServeConfig::watchdog_grace`] is flagged by a background thread and,
+//!   on completion, detached exactly like the panic path (`err stuck`).
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use alic_core::runner::ledger::{quarantine_file, write_verified};
+use alic_core::runner::ledger::{quarantine_file, write_atomic, write_verified};
 use alic_core::warmstore::{WarmKey, WarmStore};
 use alic_model::spec::SurrogateSpec;
 use alic_sim::space::ParameterSpace;
-use alic_stats::fault::{inject, FaultSite};
+use alic_stats::fault::{inject, injections, FaultSite};
+use alic_stats::policy::{self, RetryPolicy};
 use alic_stats::rng::derive_seed2;
 
 use crate::protocol::{
     self, code, format_config, format_cost, sanitize, ErrReply, Request, MAX_LINE_BYTES,
 };
 use crate::session::{TuningSession, WarmStart};
+use crate::watchdog::Watchdog;
 
 /// Subdirectory of the serve directory holding one checkpoint per session.
 pub const SESSIONS_DIR: &str = "sessions";
@@ -50,6 +65,14 @@ pub const DEFAULT_MAX_LIVE: usize = 8;
 
 /// Default per-request deadline.
 pub const DEFAULT_DEADLINE: Duration = Duration::from_millis(2_000);
+
+/// Default watchdog grace factor: a request is stuck once it runs longer
+/// than `deadline × grace`.
+pub const DEFAULT_WATCHDOG_GRACE: f64 = 4.0;
+
+/// Relative path (under the serve directory) of the ladder's probe file:
+/// one successful atomic write there proves the disk admits writes again.
+pub const PROBE_FILE: &str = ".health-probe";
 
 /// RNG stream label under which per-session seeds derive from the daemon
 /// seed.
@@ -82,6 +105,10 @@ pub struct ServeConfig {
     /// trained under an incompatible featurization (e.g. campaign
     /// normalizers) never seed serve sessions.
     pub noise_regime: String,
+    /// Watchdog grace factor: a request running longer than
+    /// `deadline × watchdog_grace` is flagged as stuck and its session
+    /// detached on completion. `0.0` disables the watchdog.
+    pub watchdog_grace: f64,
 }
 
 impl ServeConfig {
@@ -96,7 +123,112 @@ impl ServeConfig {
             checkpoint_every: 1,
             warm_store: None,
             noise_regime: "default".to_string(),
+            watchdog_grace: DEFAULT_WATCHDOG_GRACE,
         }
+    }
+}
+
+/// The engine's position on the degradation ladder, ordered by severity.
+///
+/// Demotions only ever move down the ladder (and never out of `Draining`);
+/// a successful probe write promotes straight back to `Healthy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// All verbs served.
+    Healthy,
+    /// Checkpoint writes are failing: mutating verbs are shed with
+    /// `err degraded retry-after-ms`, reads are still served from memory.
+    SheddingWrites,
+    /// Even eviction is impossible: only `suggest`/`best`/`sessions` (and
+    /// the control verbs) are served.
+    ReadOnly,
+    /// Terminal: sessions are flushed and no new work is admitted.
+    Draining,
+}
+
+impl HealthState {
+    /// The wire label reported by the `health` verb.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::SheddingWrites => "shedding-writes",
+            HealthState::ReadOnly => "read-only",
+            HealthState::Draining => "draining",
+        }
+    }
+}
+
+/// Per-session outcome of one flush/drain pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// The session was dirty and its checkpoint was written.
+    Flushed,
+    /// The session had no volatile state.
+    Clean,
+    /// The checkpoint write failed; the payload is the structured error
+    /// detail (the session stays resident and dirty).
+    Failed(String),
+}
+
+impl FlushOutcome {
+    /// Short wire label (`flushed` / `clean` / `failed`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlushOutcome::Flushed => "flushed",
+            FlushOutcome::Clean => "clean",
+            FlushOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Structured result of draining or flushing the live table — the one
+/// summary shared by the `drain` verb and both transports' shutdown paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Per-session outcomes in session-id order.
+    pub outcomes: Vec<(String, FlushOutcome)>,
+    /// Error from persisting the warm store, if any (advisory: warm-store
+    /// damage never counts against the flush).
+    pub warm_store_error: Option<String>,
+}
+
+impl DrainSummary {
+    /// Sessions flushed or already clean.
+    pub fn ok_count(&self) -> usize {
+        self.outcomes.len() - self.failed_count()
+    }
+
+    /// Sessions whose final checkpoint write failed.
+    pub fn failed_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, FlushOutcome::Failed(_)))
+            .count()
+    }
+
+    /// The one-line headline form: `drained ok <n> failed <m>`.
+    pub fn render(&self) -> String {
+        format!(
+            "drained ok {} failed {}",
+            self.ok_count(),
+            self.failed_count()
+        )
+    }
+
+    /// The headline plus per-session outcomes:
+    /// `drained ok <n> failed <m> [<id>=<outcome> ...] [warm-store=failed]`.
+    pub fn render_detailed(&self) -> String {
+        let mut out = self.render();
+        for (id, outcome) in &self.outcomes {
+            out.push(' ');
+            out.push_str(id);
+            out.push('=');
+            out.push_str(outcome.label());
+        }
+        if self.warm_store_error.is_some() {
+            out.push_str(" warm-store=failed");
+        }
+        out
     }
 }
 
@@ -164,6 +296,10 @@ pub struct Engine {
     next_id: u64,
     busy_streak: u32,
     warm: Option<WarmStore>,
+    state: HealthState,
+    req_seq: u64,
+    flush_failures: u64,
+    watchdog: Watchdog,
 }
 
 impl Engine {
@@ -203,7 +339,16 @@ impl Engine {
             next_id,
             busy_streak: 0,
             warm,
+            state: HealthState::Healthy,
+            req_seq: 0,
+            flush_failures: 0,
+            watchdog: Watchdog::spawn(),
         })
+    }
+
+    /// The engine's current position on the degradation ladder.
+    pub fn health_state(&self) -> HealthState {
+        self.state
     }
 
     /// Warm-store hit/miss/store counters (`None` when disabled).
@@ -253,7 +398,40 @@ impl Engine {
             Err(e) => return Response::text(e.render(), Action::Continue),
         };
         let started = Instant::now();
-        match catch_unwind(AssertUnwindSafe(|| self.dispatch(conn, &request, started))) {
+        self.req_seq += 1;
+        let seq = self.req_seq;
+        let grace = self.config.watchdog_grace;
+        let limit = if grace > 0.0 {
+            self.config.deadline.mul_f64(grace)
+        } else {
+            Duration::ZERO
+        };
+        self.watchdog.begin(seq, limit);
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(conn, &request, started)));
+        if self.watchdog.finish(seq) {
+            // The watchdog flagged this request as stuck while it ran. The
+            // engine is single-owner, so the only safe enforcement point is
+            // completion: detach the session exactly like the panic path
+            // (durable state is untouched; any reply the late work computed
+            // is dropped, and at-least-once reconciliation on re-attach
+            // covers a mutation that did commit).
+            if let Some(id) = conn.current.take() {
+                self.live.remove(&id);
+            }
+            return Response::text(
+                ErrReply::new(
+                    code::STUCK,
+                    format!(
+                        "request exceeded {grace}x its {}ms deadline (watchdog); \
+                         session detached, re-attach to restore it",
+                        self.config.deadline.as_millis()
+                    ),
+                )
+                .render(),
+                Action::Continue,
+            );
+        }
+        match outcome {
             Ok(Ok((reply, action))) => Response::text(reply, action),
             Ok(Err(e)) => Response::text(e.render(), Action::Continue),
             Err(payload) => {
@@ -290,7 +468,14 @@ impl Engine {
         if inject(FaultSite::UnitPanic) {
             panic!("chaos: injected request panic");
         }
+        // An injected stall sleeps past deadline × grace, so both the
+        // cooperative deadline checks and the watchdog observe it.
+        if inject(FaultSite::Stall) {
+            let grace = self.config.watchdog_grace.max(1.0);
+            std::thread::sleep(self.config.deadline.mul_f64(2.0 * grace));
+        }
         self.clock += 1;
+        self.admit(request)?;
         let deadline = self.config.deadline;
         let over_deadline = || started.elapsed() > deadline;
         let deadline_err = || {
@@ -332,7 +517,9 @@ impl Engine {
                 let warm_obs = session.warm_observations();
                 // Durable before acknowledged: the session exists on disk
                 // before the client ever learns its id.
-                checkpoint_session(&self.session_path(&id), &session)?;
+                if let Err(e) = checkpoint_session(&self.session_path(&id), &session) {
+                    return Err(self.degrade_write(e));
+                }
                 let dim = space.dimension();
                 self.next_id += 1;
                 self.live.insert(
@@ -353,13 +540,13 @@ impl Engine {
             Request::Attach { id } => {
                 self.ensure_live(id)?;
                 conn.current = Some(id.clone());
-                let n = self.live[id].session.observations();
+                let n = self.live_ref(id)?.session.observations();
                 Ok((format!("ok attached {id} obs {n}"), Action::Continue))
             }
             Request::Suggest { count } => {
                 let id = attached(conn)?;
                 self.ensure_live(&id)?;
-                let entry = self.live.get_mut(&id).expect("ensured live");
+                let entry = self.live_mut(&id)?;
                 let configs = entry.session.suggest(*count).map_err(model_err)?;
                 // Reads are side-effect free; shedding after the work is
                 // done still protects the *connection's* latency budget.
@@ -379,7 +566,7 @@ impl Engine {
                 // Validate everything and check the deadline *before* the
                 // mutation: past this point the request always commits or
                 // rolls back, never half-happens.
-                self.live[&id]
+                self.live_ref(&id)?
                     .session
                     .space()
                     .validate(config)
@@ -389,17 +576,20 @@ impl Engine {
                 }
                 let path = self.session_path(&id);
                 let cadence = self.config.checkpoint_every.max(1);
-                let entry = self.live.get_mut(&id).expect("ensured live");
+                let entry = self.live_mut(&id)?;
                 entry.session.record(config.clone(), *cost);
                 entry.dirty += 1;
                 if entry.dirty >= cadence {
                     if let Err(e) = checkpoint_session(&path, &entry.session) {
                         entry.session.unrecord();
                         entry.dirty -= 1;
-                        return Err(e);
+                        // A failing commit write is the ladder's entry
+                        // point: demote and shed with a backoff hint.
+                        return Err(self.degrade_write(e));
                     }
                     entry.dirty = 0;
                 }
+                let mut rollback_write_failed = false;
                 if let Err(model_failure) = entry.session.apply_last() {
                     // The model rejected the observation: roll the log back
                     // in memory, then bring the disk copy back in line.
@@ -425,16 +615,24 @@ impl Engine {
                         // on the next attach.
                         entry.dirty = entry.dirty.max(1);
                         let _ = entry.session.rebuild();
+                        rollback_write_failed = true;
+                    }
+                    if rollback_write_failed {
+                        // The reply stays `err model` (the observation was
+                        // rejected, not shed), but the disk is degraded.
+                        self.demote(HealthState::SheddingWrites);
                     }
                     return Err(model_err(model_failure));
                 }
                 let n = entry.session.observations();
+                // A successful admission write clears any shed streak.
+                self.busy_streak = 0;
                 Ok((format!("ok observed {n}"), Action::Continue))
             }
             Request::Best => {
                 let id = attached(conn)?;
                 self.ensure_live(&id)?;
-                let entry = &self.live[&id];
+                let entry = self.live_ref(&id)?;
                 match entry.session.best() {
                     Some((config, cost)) => Ok((
                         format!("ok best {} {}", format_config(config), format_cost(cost)),
@@ -447,15 +645,25 @@ impl Engine {
                 let id = attached(conn)?;
                 self.ensure_live(&id)?;
                 let path = self.session_path(&id);
-                let entry = self.live.get_mut(&id).expect("ensured live");
-                checkpoint_session(&path, &entry.session)?;
-                entry.dirty = 0;
-                Ok((
-                    format!("ok checkpoint {SESSIONS_DIR}/{id}.json"),
-                    Action::Continue,
-                ))
+                match checkpoint_session(&path, &self.live_ref(&id)?.session) {
+                    Ok(()) => {
+                        self.live_mut(&id)?.dirty = 0;
+                        self.busy_streak = 0;
+                        Ok((
+                            format!("ok checkpoint {SESSIONS_DIR}/{id}.json"),
+                            Action::Continue,
+                        ))
+                    }
+                    Err(e) => Err(self.degrade_write(e)),
+                }
             }
             Request::Sessions => {
+                if inject(FaultSite::FdLimit) {
+                    return Err(ErrReply::new(
+                        code::IO,
+                        "scanning sessions: chaos injected file-descriptor exhaustion",
+                    ));
+                }
                 let mut ids: std::collections::BTreeSet<String> =
                     self.live.keys().cloned().collect();
                 let entries = std::fs::read_dir(self.sessions_dir())
@@ -478,15 +686,179 @@ impl Engine {
                 }
                 Ok((reply, Action::Continue))
             }
+            Request::Health => {
+                let mut inj = String::new();
+                for site in FaultSite::ALL {
+                    let n = injections(site);
+                    if n > 0 {
+                        if !inj.is_empty() {
+                            inj.push(',');
+                        }
+                        inj.push_str(site.name());
+                        inj.push(':');
+                        inj.push_str(&n.to_string());
+                    }
+                }
+                if inj.is_empty() {
+                    inj.push_str("none");
+                }
+                let warm = match self.warm_counters() {
+                    Some((h, m, s)) => format!("{h}/{m}/{s}"),
+                    None => "off".to_string(),
+                };
+                Ok((
+                    format!(
+                        "ok health state={} live={} shed-streak={} flush-failed={} \
+                         retry-sleeps={} inj={} warm={}",
+                        self.state.label(),
+                        self.live.len(),
+                        self.busy_streak,
+                        self.flush_failures,
+                        policy::sleeps(),
+                        inj,
+                        warm
+                    ),
+                    Action::Continue,
+                ))
+            }
+            Request::Drain => {
+                let summary = self.drain();
+                Ok((
+                    format!("ok {}", summary.render_detailed()),
+                    Action::Continue,
+                ))
+            }
             Request::Quit => {
-                self.flush_all();
+                let _ = self.flush_all();
                 Ok(("ok bye".to_string(), Action::CloseConnection))
             }
             Request::Shutdown => {
-                self.flush_all();
+                let _ = self.flush_all();
                 Ok(("ok shutdown".to_string(), Action::ShutdownDaemon))
             }
         }
+    }
+
+    /// The ladder's admission gate: control verbs always pass; otherwise the
+    /// current [`HealthState`] decides which verbs are shed. While degraded
+    /// (but not draining), a probe write first attempts automatic promotion
+    /// back to `Healthy`.
+    fn admit(&mut self, request: &Request) -> Result<(), ErrReply> {
+        if matches!(
+            request,
+            Request::Sessions
+                | Request::Health
+                | Request::Drain
+                | Request::Quit
+                | Request::Shutdown
+        ) {
+            return Ok(());
+        }
+        if self.state == HealthState::Draining {
+            return Err(ErrReply::new(
+                code::DRAINING,
+                "daemon is draining; state is flushed and no new work is admitted",
+            ));
+        }
+        if self.state == HealthState::Healthy {
+            return Ok(());
+        }
+        self.try_promote();
+        match self.state {
+            HealthState::Healthy => Ok(()),
+            HealthState::SheddingWrites => match request {
+                Request::NewSession { .. } | Request::Observe { .. } | Request::Checkpoint => {
+                    Err(self.shed(
+                        code::DEGRADED,
+                        "shedding writes: checkpoint writes are failing; reads are still served",
+                    ))
+                }
+                _ => Ok(()),
+            },
+            HealthState::ReadOnly => match request {
+                Request::Suggest { .. } | Request::Best => Ok(()),
+                Request::NewSession { .. } | Request::Attach { .. } => Err(self.shed(
+                    code::BUSY,
+                    "read-only: the live table cannot evict; only suggest/best/sessions are served",
+                )),
+                _ => Err(self.shed(
+                    code::DEGRADED,
+                    "read-only: the live table cannot evict; only suggest/best/sessions are served",
+                )),
+            },
+            HealthState::Draining => Err(ErrReply::new(
+                code::DRAINING,
+                "daemon is draining; state is flushed and no new work is admitted",
+            )),
+        }
+    }
+
+    /// Demotes the ladder to `to` unless already at that severity or worse.
+    /// Never demotes out of `Draining` (it is terminal) and never promotes —
+    /// promotion is the probe's job.
+    fn demote(&mut self, to: HealthState) {
+        if self.state != HealthState::Draining && to > self.state {
+            self.state = to;
+        }
+    }
+
+    /// Attempts automatic promotion back to `Healthy`: one successful
+    /// atomic write to the probe file proves the disk admits writes again.
+    fn try_promote(&mut self) {
+        if !matches!(
+            self.state,
+            HealthState::SheddingWrites | HealthState::ReadOnly
+        ) {
+            return;
+        }
+        let probe = self.config.dir.join(PROBE_FILE);
+        if write_atomic(&probe, "alic-serve health probe\n").is_ok() {
+            self.state = HealthState::Healthy;
+            self.busy_streak = 0;
+        }
+    }
+
+    /// Builds a load-shedding reply: bumps the shed streak and stamps the
+    /// `retry-after-ms` hint from [`RetryPolicy::SERVE_HINT`], so the hint
+    /// backs off exponentially while the condition persists and resets on
+    /// the next successful admission.
+    fn shed(&mut self, code: &'static str, why: &str) -> ErrReply {
+        self.busy_streak = self.busy_streak.saturating_add(1);
+        let hint = RetryPolicy::SERVE_HINT.hint_ms(self.busy_streak);
+        ErrReply::new(code, format!("retry-after-ms {hint} ({why})"))
+    }
+
+    /// A failed admission write (checkpoint commit) demotes to
+    /// `SheddingWrites` and sheds with a `degraded` backoff hint carrying
+    /// the underlying error.
+    fn degrade_write(&mut self, e: ErrReply) -> ErrReply {
+        self.demote(HealthState::SheddingWrites);
+        let msg = e.msg;
+        self.shed(code::DEGRADED, &msg)
+    }
+
+    fn internal_missing(id: &str) -> ErrReply {
+        ErrReply::new(
+            code::INTERNAL,
+            format!(
+                "session {id} expected resident but missing from the live table; \
+                 re-attach to restore it"
+            ),
+        )
+    }
+
+    /// Graceful lookup of a session the dispatch path has already ensured
+    /// live: a bookkeeping slip fails this one request with `err internal`
+    /// instead of poisoning the session through a panic.
+    fn live_ref(&self, id: &str) -> Result<&LiveEntry, ErrReply> {
+        self.live.get(id).ok_or_else(|| Self::internal_missing(id))
+    }
+
+    /// Mutable sibling of [`Engine::live_ref`].
+    fn live_mut(&mut self, id: &str) -> Result<&mut LiveEntry, ErrReply> {
+        self.live
+            .get_mut(id)
+            .ok_or_else(|| Self::internal_missing(id))
     }
 
     /// Makes `id` resident: a no-op when live, otherwise a checkpoint
@@ -537,8 +909,7 @@ impl Engine {
                 },
             );
         }
-        let entry = self.live.get_mut(id).expect("just inserted or present");
-        entry.last_touch = self.clock;
+        self.live_mut(id)?.last_touch = self.clock;
         Ok(())
     }
 
@@ -551,24 +922,28 @@ impl Engine {
             // Select the victim by reference — ties on `last_touch` break
             // to the lexicographically smallest id — and clone the one
             // winning id, not every id per comparison.
-            let victim = self
+            let Some(victim) = self
                 .live
                 .iter()
                 .min_by_key(|&(id, entry)| (entry.last_touch, id))
                 .map(|(id, _)| id.clone())
-                .expect("table is non-empty when at capacity");
+            else {
+                return Err(ErrReply::new(
+                    code::INTERNAL,
+                    "live table at capacity yet empty; eviction bookkeeping slipped",
+                ));
+            };
             let dirty = self.live[&victim].dirty > 0;
             if dirty {
                 let path = self.session_path(&victim);
                 if let Err(e) = checkpoint_session(&path, &self.live[&victim].session) {
-                    self.busy_streak = self.busy_streak.saturating_add(1);
-                    let hint = 50u64 << (self.busy_streak - 1).min(5);
-                    return Err(ErrReply::new(
+                    // A table that cannot evict cannot admit: demote to
+                    // read-only until the probe proves writes work again.
+                    self.demote(HealthState::ReadOnly);
+                    let msg = e.msg;
+                    return Err(self.shed(
                         code::BUSY,
-                        format!(
-                            "retry-after-ms {hint} (live-session table full and evicting {victim} failed: {})",
-                            e.msg
-                        ),
+                        &format!("live-session table full and evicting {victim} failed: {msg}"),
                     ));
                 }
             }
@@ -617,42 +992,62 @@ impl Engine {
         store.insert(&key, depth, snapshot);
     }
 
-    /// Checkpoints every dirty live session (shutdown/EOF path), returning
-    /// how many flushes failed. With the default cadence of 1 nothing is
-    /// ever dirty here. Each failure names its session path on stderr so
-    /// an operator can find (and the daemon's exit code can reflect) what
-    /// was left volatile. Fitted live surrogates are also harvested into
-    /// the warm store, which is then persisted — advisory, so store
-    /// failures are logged but never counted against the flush.
-    pub fn flush_all(&mut self) -> usize {
-        let mut failures = 0;
+    /// Checkpoints every dirty live session (shutdown/EOF/drain path) and
+    /// reports the per-session outcome as a [`DrainSummary`] instead of
+    /// free-form stderr lines — the drain verb and both transports render
+    /// the same structured `drained ok <n> failed <m>` summary. With the
+    /// default cadence of 1 nothing is ever dirty here. Fitted live
+    /// surrogates are also harvested into the warm store, which is then
+    /// persisted — advisory, so store failures are carried in the summary
+    /// but never counted against the flush.
+    pub fn flush_all(&mut self) -> DrainSummary {
+        let mut outcomes = Vec::new();
         let ids: Vec<String> = self.live.keys().cloned().collect();
         for id in ids {
-            if self.live[&id].dirty > 0 {
+            let outcome = if self.live[&id].dirty > 0 {
                 let path = self.session_path(&id);
                 match checkpoint_session(&path, &self.live[&id].session) {
-                    Ok(()) => self.live.get_mut(&id).expect("present").dirty = 0,
+                    Ok(()) => {
+                        if let Some(entry) = self.live.get_mut(&id) {
+                            entry.dirty = 0;
+                        }
+                        FlushOutcome::Flushed
+                    }
                     Err(e) => {
-                        failures += 1;
-                        eprintln!("alic-serve: flushing {} failed: {}", path.display(), e.msg);
+                        self.flush_failures += 1;
+                        FlushOutcome::Failed(e.msg)
                     }
                 }
-            }
+            } else {
+                FlushOutcome::Clean
+            };
+            outcomes.push((id, outcome));
         }
+        let mut warm_store_error = None;
         if self.warm.is_some() {
             for entry in self.live.values() {
                 Self::harvest_warm(&mut self.warm, &self.config.noise_regime, &entry.session);
             }
             if let Some(store) = &self.warm {
                 if let Err(e) = store.save() {
-                    eprintln!(
-                        "alic-serve: saving warm store {} failed: {e}",
-                        store.path().display()
-                    );
+                    warm_store_error =
+                        Some(format!("saving warm store {}: {e}", store.path().display()));
                 }
             }
         }
-        failures
+        DrainSummary {
+            outcomes,
+            warm_store_error,
+        }
+    }
+
+    /// The drain protocol: stop admitting new work, flush every live
+    /// session, and report per-session outcomes. After this the ladder is
+    /// pinned at [`HealthState::Draining`] — only `sessions`, `health`,
+    /// `drain`, `quit` and `shutdown` keep answering.
+    pub fn drain(&mut self) -> DrainSummary {
+        self.state = HealthState::Draining;
+        self.flush_all()
     }
 }
 

@@ -26,7 +26,19 @@
 //! * under load the daemon degrades gracefully: the live-session table is
 //!   bounded with LRU idle eviction to checkpoint, and requests that cannot
 //!   be served are shed with an explicit `busy` reply carrying a
-//!   retry-after hint.
+//!   retry-after hint;
+//! * under *resource pressure* it walks an explicit degradation ladder
+//!   (healthy → shedding-writes → read-only → draining) instead of failing
+//!   randomly: persistent checkpoint-write failures shed writes while reads
+//!   keep answering, eviction failures go read-only, and a successful probe
+//!   write promotes back to healthy ([`engine::HealthState`]);
+//! * `health` reports the ladder state plus fault/retry counters, `drain`
+//!   (or SIGTERM, in both transports) stops admission and flushes every
+//!   session with a structured per-session outcome report
+//!   ([`engine::DrainSummary`]);
+//! * a watchdog thread ([`watchdog`]) flags requests that blow through
+//!   their deadline by a grace factor; the wedged session is detached like
+//!   the panic path and restored from its checkpoint on re-attach.
 //!
 //! The `alic_stats::fault` chaos plane reaches into the daemon end to end:
 //! the connection layer has injection sites for dropped connections
@@ -43,7 +55,11 @@ pub mod daemon;
 pub mod engine;
 pub mod protocol;
 pub mod session;
+pub mod term;
+pub mod watchdog;
 
-pub use engine::{Action, ConnState, Engine, Response, ServeConfig};
+pub use engine::{
+    Action, ConnState, DrainSummary, Engine, FlushOutcome, HealthState, Response, ServeConfig,
+};
 pub use protocol::{ErrReply, Request, PROTOCOL_VERSION};
 pub use session::TuningSession;

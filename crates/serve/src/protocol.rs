@@ -13,6 +13,8 @@
 //! best                                    -> ok best <cfg> <cost>
 //! checkpoint                              -> ok checkpoint <relative-path>
 //! sessions                                -> ok sessions [<id> ...]
+//! health                                  -> ok health state=<s> live=<n> ...
+//! drain                                   -> ok drained ok <n> failed <m> [<id>=<outcome> ...]
 //! quit                                    -> ok bye          (closes the connection)
 //! shutdown                                -> ok shutdown     (stops the daemon)
 //! ```
@@ -63,8 +65,17 @@ pub mod code {
     pub const BAD_COST: &str = "bad-cost";
     /// The daemon is shedding load; the message carries `retry-after-ms`.
     pub const BUSY: &str = "busy";
+    /// The daemon is on the degradation ladder (checkpoint writes are
+    /// failing): writes are shed with a `retry-after-ms` hint while reads
+    /// are still served.
+    pub const DEGRADED: &str = "degraded";
+    /// The daemon is draining: state is flushed and no new work is admitted.
+    pub const DRAINING: &str = "draining";
     /// The request exceeded its deadline.
     pub const DEADLINE: &str = "deadline";
+    /// The watchdog flagged the request as stuck (it exceeded its deadline
+    /// by the grace factor); the session was detached like the panic path.
+    pub const STUCK: &str = "stuck";
     /// The request panicked; the session was detached (re-`attach` restores
     /// it from its last checkpoint).
     pub const PANIC: &str = "panic";
@@ -78,6 +89,10 @@ pub mod code {
     /// The surrogate model rejected the operation; the observation was
     /// rolled back.
     pub const MODEL: &str = "model";
+    /// An engine bookkeeping invariant failed mid-request. The request is
+    /// abandoned (re-attach restores the session from its checkpoint); the
+    /// process and the session's durable state are unaffected.
+    pub const INTERNAL: &str = "internal";
 }
 
 /// A structured protocol error: the `err <code> <msg>` reply.
@@ -158,6 +173,10 @@ pub enum Request {
     Checkpoint,
     /// `sessions`
     Sessions,
+    /// `health`
+    Health,
+    /// `drain`
+    Drain,
     /// `quit`
     Quit,
     /// `shutdown`
@@ -230,12 +249,14 @@ pub fn parse_request(line: &str) -> Result<Request, ErrReply> {
         "best" => no_args(&rest, Request::Best, arity("")),
         "checkpoint" => no_args(&rest, Request::Checkpoint, arity("")),
         "sessions" => no_args(&rest, Request::Sessions, arity("")),
+        "health" => no_args(&rest, Request::Health, arity("")),
+        "drain" => no_args(&rest, Request::Drain, arity("")),
         "quit" => no_args(&rest, Request::Quit, arity("")),
         "shutdown" => no_args(&rest, Request::Shutdown, arity("")),
         other => Err(ErrReply::new(
             code::UNKNOWN_CMD,
             format!(
-                "unknown command {:?} (try: newsession attach suggest observe best checkpoint sessions quit shutdown)",
+                "unknown command {:?} (try: newsession attach suggest observe best checkpoint sessions health drain quit shutdown)",
                 sanitize(&other.chars().take(32).collect::<String>())
             ),
         )),
@@ -408,6 +429,10 @@ mod tests {
     #[test]
     fn commands_parse_and_misuse_is_structured() {
         assert_eq!(parse_request("best"), Ok(Request::Best));
+        assert_eq!(parse_request("health"), Ok(Request::Health));
+        assert_eq!(parse_request("drain"), Ok(Request::Drain));
+        assert!(parse_request("health now").is_err());
+        assert!(parse_request("drain fast").is_err());
         assert_eq!(parse_request("suggest"), Ok(Request::Suggest { count: 1 }));
         assert_eq!(
             parse_request("suggest 5"),

@@ -1,0 +1,124 @@
+//! The request watchdog: detects wedged requests.
+//!
+//! Deadlines are checked cooperatively at safe points inside dispatch, which
+//! is useless against a request that never reaches the next safe point — a
+//! stalled filesystem call, a pathological model fit, an injected
+//! [`alic_stats::fault::FaultSite::Stall`]. The watchdog covers that gap: a
+//! background thread observes the in-flight request and flags it once it
+//! exceeds its deadline by a grace factor.
+//!
+//! The engine is single-owner, so the watchdog cannot (and must not) preempt
+//! the stuck thread; Rust offers no safe cancellation. Instead the flag is
+//! *enforced on completion*: when the request finally returns, the engine
+//! sees the flag, detaches the session exactly like the panic path, and
+//! replies `err stuck` — the session's durable checkpoint is unaffected and
+//! a re-attach restores it. A request that stalls forever keeps its flag
+//! visible to operators through the monitor handle.
+//!
+//! The watchdog thread holds only a [`Weak`] reference to the shared state:
+//! dropping the engine drops the last strong reference and the thread exits
+//! on its next poll, so short-lived engines (tests) never leak threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+/// How often the watchdog thread polls the in-flight request.
+const POLL_INTERVAL: Duration = Duration::from_millis(3);
+
+#[derive(Debug)]
+struct InFlight {
+    seq: u64,
+    started: Instant,
+    limit: Duration,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    inflight: Mutex<Option<InFlight>>,
+    /// Sequence number of the request most recently flagged as stuck
+    /// (0 = none; request sequence numbers start at 1).
+    stuck: AtomicU64,
+}
+
+/// Handle through which the engine registers requests with its watchdog
+/// thread.
+#[derive(Debug)]
+pub struct Watchdog {
+    shared: Arc<Shared>,
+}
+
+impl Watchdog {
+    /// Spawns the watchdog thread. The thread exits once the returned handle
+    /// (the only strong reference) is dropped.
+    pub fn spawn() -> Watchdog {
+        let shared = Arc::new(Shared::default());
+        let weak: Weak<Shared> = Arc::downgrade(&shared);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(POLL_INTERVAL);
+            let Some(shared) = weak.upgrade() else { break };
+            let guard = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(flight) = &*guard {
+                if flight.started.elapsed() > flight.limit {
+                    shared.stuck.store(flight.seq, Ordering::Release);
+                }
+            }
+        });
+        Watchdog { shared }
+    }
+
+    /// Registers request `seq` as in flight with the given wall-clock limit
+    /// (deadline × grace). A zero limit disables the watchdog for this
+    /// request (degenerate deadlines are a cooperative-shedding concern).
+    pub fn begin(&self, seq: u64, limit: Duration) {
+        if limit.is_zero() {
+            return;
+        }
+        let mut guard = self
+            .shared
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *guard = Some(InFlight {
+            seq,
+            started: Instant::now(),
+            limit,
+        });
+    }
+
+    /// Deregisters request `seq`; returns true when the watchdog flagged it
+    /// as stuck while it ran. Clears the flag either way.
+    pub fn finish(&self, seq: u64) -> bool {
+        let mut guard = self
+            .shared
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if guard.as_ref().is_some_and(|f| f.seq == seq) {
+            *guard = None;
+        }
+        // The flag is read under the same lock the poller sets it under, so
+        // a flag raised mid-request can never leak onto the next one.
+        self.shared.stuck.swap(0, Ordering::AcqRel) == seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_only_requests_that_outlive_their_limit() {
+        let dog = Watchdog::spawn();
+        dog.begin(1, Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(dog.finish(1), "a 40ms request with a 10ms limit is stuck");
+        // The flag was consumed; a fast request is clean.
+        dog.begin(2, Duration::from_millis(500));
+        assert!(!dog.finish(2));
+        // Zero limit disables the watchdog entirely.
+        dog.begin(3, Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!dog.finish(3));
+    }
+}

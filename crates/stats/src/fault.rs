@@ -71,10 +71,18 @@ pub enum FaultSite {
     ShortRead = 8,
     /// A serve reply tears: only a prefix is written, then the socket errors.
     TornReply = 9,
+    /// A ledger write fails with out-of-space (`ENOSPC`): the disk is full.
+    Enospc = 10,
+    /// A request stalls: the instrumented site sleeps long enough to trip its
+    /// deadline (and the serve watchdog's grace factor).
+    Stall = 11,
+    /// File-descriptor exhaustion: opening or writing a file fails with
+    /// `EMFILE`-style errors.
+    FdLimit = 12,
 }
 
 /// Number of distinct fault sites.
-pub const SITE_COUNT: usize = 10;
+pub const SITE_COUNT: usize = 13;
 
 impl FaultSite {
     /// All sites, in identifier order.
@@ -89,6 +97,9 @@ impl FaultSite {
         FaultSite::ConnDrop,
         FaultSite::ShortRead,
         FaultSite::TornReply,
+        FaultSite::Enospc,
+        FaultSite::Stall,
+        FaultSite::FdLimit,
     ];
 
     /// Stable index of this site (also its RNG substream label).
@@ -110,6 +121,9 @@ impl FaultSite {
             FaultSite::ConnDrop => "conndrop",
             FaultSite::ShortRead => "shortread",
             FaultSite::TornReply => "tornreply",
+            FaultSite::Enospc => "enospc",
+            FaultSite::Stall => "stall",
+            FaultSite::FdLimit => "fdlimit",
         }
     }
 
@@ -373,6 +387,17 @@ pub fn inject(site: FaultSite) -> bool {
     true
 }
 
+/// The seed of the currently installed fault plane, if any.
+///
+/// Retry policies ([`crate::policy`]) key their deterministic jitter
+/// substreams off this seed so that a chaos run's sleep schedule is as
+/// reproducible as its fault pattern.
+pub fn plan_seed() -> Option<u64> {
+    init_from_env();
+    let slot = PLANE.read().unwrap_or_else(|e| e.into_inner());
+    slot.as_ref().map(|p| p.seed)
+}
+
 /// Total injections performed at `site` by the installed plane (0 when no
 /// plane is installed or the site is unarmed).
 pub fn injections(site: FaultSite) -> u64 {
@@ -501,6 +526,9 @@ mod tests {
         assert_eq!(FaultSite::ConnDrop.index(), 7);
         assert_eq!(FaultSite::ShortRead.index(), 8);
         assert_eq!(FaultSite::TornReply.index(), 9);
+        assert_eq!(FaultSite::Enospc.index(), 10);
+        assert_eq!(FaultSite::Stall.index(), 11);
+        assert_eq!(FaultSite::FdLimit.index(), 12);
         assert_eq!(FaultSite::ALL.len(), SITE_COUNT);
         let plan = FaultPlan::parse("3:conndrop=0.5x2,shortread=0.25,tornreply=1.0x1").unwrap();
         assert_eq!(
@@ -537,6 +565,36 @@ mod tests {
         assert!(!inject(FaultSite::TornWrite));
         drop(guard);
         assert!(!inject(FaultSite::EvalError));
+    }
+
+    #[test]
+    fn pressure_sites_parse_and_expose_the_plan_seed() {
+        let plan = FaultPlan::parse("17:enospc=0.4x3,stall=0.2,fdlimit=1.0x1").unwrap();
+        assert_eq!(
+            plan.site(FaultSite::Enospc),
+            Some(SiteSpec {
+                rate: 0.4,
+                budget: Some(3)
+            })
+        );
+        assert_eq!(
+            plan.site(FaultSite::Stall),
+            Some(SiteSpec {
+                rate: 0.2,
+                budget: None
+            })
+        );
+        assert_eq!(
+            plan.site(FaultSite::FdLimit),
+            Some(SiteSpec {
+                rate: 1.0,
+                budget: Some(1)
+            })
+        );
+        let guard = exclusive(plan);
+        assert_eq!(plan_seed(), Some(17));
+        drop(guard);
+        assert_eq!(plan_seed(), None);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! * [`sampling`] — random subset selection used for candidate sets,
 //! * [`rng`] — deterministic, seedable random-number-generator helpers,
 //! * [`fault`] — the deterministic fault-injection plane behind the
-//!   workspace's chaos testing (`ALIC_CHAOS`).
+//!   workspace's chaos testing (`ALIC_CHAOS`),
+//! * [`policy`] — the unified retry/timeout/backoff policy with
+//!   deterministic, fault-plan-seeded jitter.
 //!
 //! # Examples
 //!
@@ -44,6 +46,7 @@ pub mod fault;
 pub mod features;
 pub mod matrix;
 pub mod normalize;
+pub mod policy;
 pub mod rng;
 pub mod sampling;
 pub mod special;
